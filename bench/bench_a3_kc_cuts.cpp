@@ -1,0 +1,62 @@
+// A3 (ablation) — the cost of the stronger relaxation.
+//
+// LP (4)'s knapsack-cover inequalities are exponential in number but enter
+// lazily through the Lemma 3.2 separation oracle. We report how many
+// cutting-plane rounds and cuts instances actually need, and how much the
+// LP value rises from LP (3) to LP (4).
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "spanner2/formulation.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ftspan;
+
+namespace {
+
+void run(const char* name, const Digraph& g, std::size_t r, Table& t) {
+  Timer t3;
+  const auto lp3 = solve_lp3(g, r);
+  const double s3 = t3.seconds();
+  Timer t4;
+  const auto lp4 = solve_lp4(g, r);
+  const double s4 = t4.seconds();
+  t.row()
+      .cell(name)
+      .cell(g.num_edges())
+      .cell(r)
+      .cell(lp3.value, 1)
+      .cell(lp4.value, 1)
+      .cell(lp4.value / std::max(lp3.value, 1e-12), 3)
+      .cell(lp4.cut_rounds)
+      .cell(lp4.cuts_added)
+      .cell(s3, 2)
+      .cell(s4, 2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# A3: knapsack-cover cutting planes — rounds, cuts, value lift\n");
+
+  banner("per-instance separation effort");
+  Table t({"instance", "m", "r", "LP(3)", "LP(4)", "lift", "cut rounds",
+           "cuts", "LP3 sec", "LP4 sec"});
+  run("gadget M=1000", gap_gadget(2, 1000.0), 2, t);
+  run("gadget M=1000", gap_gadget(4, 1000.0), 4, t);
+  run("gadget M=1000", gap_gadget(8, 1000.0), 8, t);
+  run("K_8", di_complete(8), 1, t);
+  run("K_8", di_complete(8), 3, t);
+  run("G(10,0.4)", di_gnp(10, 0.4, 1), 1, t);
+  run("G(14,0.4)", di_gnp(14, 0.4, 2), 1, t);
+  run("G(14,0.4)", di_gnp(14, 0.4, 2), 2, t);
+  run("G(18,0.3)", di_gnp(18, 0.3, 3), 1, t);
+  t.print();
+
+  std::printf(
+      "\nReading: a handful of cut rounds suffices in practice — the "
+      "exponential family is never materialized (Lemma 3.2's oracle "
+      "inspects only the top-j flow prefixes).\n");
+  return 0;
+}

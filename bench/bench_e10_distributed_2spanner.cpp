@@ -1,0 +1,93 @@
+// E10 — Theorem 3.9 / Algorithm 2: the distributed O(log n)-approximation
+// for Minimum Cost r-Fault-Tolerant 2-Spanner.
+//
+// Measured claims: LOCAL rounds = O(log² n); solution cost within an
+// O(log n) factor of the centralized LP (4) optimum; the Lemma 3.8
+// inequality Σ_C LP*(C) <= LP* per sampled partition; and the averaged
+// fractional solution's cost Σ c_e x̃_e <= 4 LP*.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "local/dist_2spanner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ftspan;
+using namespace ftspan::local;
+
+int main() {
+  std::printf("# E10: Algorithm 2 in the LOCAL model (Theorem 3.9)\n");
+
+  {
+    banner("Lemma 3.8: sum of cluster LP optima vs global LP*, 5 partitions");
+    // Lemma 3.8 holds for EVERY partition; we sample with an aggressive
+    // geometric parameter (small radii) so partitions are nontrivial —
+    // the default parameter would put these low-diameter graphs into a
+    // single cluster and make the inequality vacuously tight.
+    PaddedDecompositionOptions aggressive;
+    aggressive.geometric_p = 0.65;
+    Table t({"instance", "r", "LP*", "max_P sum_C LP*(C)", "ratio <= 1",
+             "max clusters"});
+    const auto run = [&](const char* name, const Digraph& g, std::size_t r) {
+      const Graph comm = communication_graph(g);
+      const auto full = solve_lp4(g, r);
+      double worst = 0;
+      std::size_t max_clusters = 0;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto d = sample_padded_decomposition(comm, seed * 19, aggressive);
+        const auto sum = cluster_lp_values(g, r, d);
+        worst = std::max(worst, sum.sum_cluster_values);
+        max_clusters = std::max(max_clusters, sum.clusters);
+      }
+      t.row()
+          .cell(name)
+          .cell(r)
+          .cell(full.value, 2)
+          .cell(worst, 2)
+          .cell(worst / std::max(full.value, 1e-12), 3)
+          .cell(max_clusters);
+    };
+    for (const std::size_t r : {0u, 1u}) {
+      run("G(10,0.4)", di_gnp(10, 0.4, 10), r);
+      run("G(14,0.4)", di_gnp(14, 0.4, 14), r);
+      run("cycle(12) bidirected", bidirect(ftspan::cycle(12)), r);
+      run("grid(3x4) bidirected", bidirect(ftspan::grid(3, 4)), r);
+    }
+    t.print();
+  }
+
+  {
+    banner("Algorithm 2 end-to-end");
+    Table t({"n", "r", "rounds", "rounds/ln^2 n", "LP*", "x~ cost",
+             "x~/LP* (<=4)", "cost", "cost/LP*", "valid", "sec"});
+    for (const std::size_t n : {12u, 16u}) {
+      const Digraph g = di_gnp(n, 0.4, 3 * n);
+      const double ln_n = std::log(static_cast<double>(n));
+      for (const std::size_t r : {0u, 1u}) {
+        const auto full = solve_lp4(g, r);
+        Timer timer;
+        const auto res = distributed_ft_2spanner(g, r, 17 * n + r);
+        const double sec = timer.seconds();
+        t.row()
+            .cell(n)
+            .cell(r)
+            .cell(res.stats.rounds)
+            .cell(static_cast<double>(res.stats.rounds) / (ln_n * ln_n), 1)
+            .cell(full.value, 1)
+            .cell(res.x_tilde_cost, 1)
+            .cell(res.x_tilde_cost / std::max(full.value, 1e-12), 3)
+            .cell(res.cost, 1)
+            .cell(res.cost / std::max(full.value, 1e-12), 3)
+            .cell(res.valid ? "yes" : "NO")
+            .cell(sec, 2);
+      }
+    }
+    t.print();
+    std::printf(
+        "\nReading: rounds/ln² n is ~constant (Theorem 3.9's O(log² n)); "
+        "x~/LP* <= 4 (Lemma 3.8 + averaging); final cost within the rounding's "
+        "O(log n) of LP*.\n");
+  }
+  return 0;
+}

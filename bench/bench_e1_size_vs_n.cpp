@@ -1,0 +1,103 @@
+// E1 — Corollary 2.2 size scaling in n.
+//
+// Claim: the conversion applied to the greedy spanner yields an r-fault-
+// tolerant k-spanner of size O(r^{2-2/(k+1)} n^{1+2/(k+1)} log n). We sweep
+// n at fixed (k, r), report measured size, size normalized by the bound
+// (should be flat-to-decreasing in n), the empirical log-log slope of size
+// vs n (should not exceed 1 + 2/(k+1) by much once the log n factor is
+// accounted for), and a sampled fault-tolerance validity check.
+#include <cstdio>
+#include <vector>
+
+#include "ftspanner/conversion.hpp"
+#include "ftspanner/validate.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ftspan;
+
+int main() {
+  std::printf("# E1: FT-greedy spanner size vs n (Corollary 2.2)\n");
+  std::printf("# workload: G(n, p) with expected average degree 16\n");
+
+  const std::vector<std::size_t> ns{128, 256, 512};
+  for (const double k : {3.0, 5.0}) {
+    for (const std::size_t r : {1u, 2u, 4u}) {
+      banner("k = " + std::to_string(static_cast<int>(k)) +
+             ", r = " + std::to_string(r));
+      Table t({"n", "m", "|H|", "|H|/m", "bound", "|H|/bound", "alpha",
+               "valid(sampled)", "sec"});
+      std::vector<double> xs, ys;
+      for (const std::size_t n : ns) {
+        const double p = 16.0 / static_cast<double>(n);
+        const Graph g = gnp(n, p, 1000 + n);
+        Timer timer;
+        const auto res = ft_greedy_spanner(g, k, r, 7 * n + r);
+        const double sec = timer.seconds();
+        const Graph h = g.edge_subgraph(res.edges);
+        const auto check = check_ft_spanner_sampled(g, h, k, r, 15, 25, 5);
+        const double bound = corollary22_size_bound(n, k, r);
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(static_cast<double>(res.edges.size()));
+        t.row()
+            .cell(n)
+            .cell(g.num_edges())
+            .cell(res.edges.size())
+            .cell(static_cast<double>(res.edges.size()) / g.num_edges(), 3)
+            .cell(bound, 0)
+            .cell(res.edges.size() / bound, 4)
+            .cell(res.iterations)
+            .cell(check.valid ? "yes" : "NO")
+            .cell(sec, 2);
+      }
+      t.print();
+      std::printf("log-log slope of |H| vs n: %.3f (paper exponent %.3f + o(1); "
+                  "when |H|/m ~ 1 the union has saturated at G itself and the "
+                  "slope reflects m, not the bound)\n",
+                  loglog_slope(xs, ys), 1.0 + 2.0 / (k + 1.0));
+    }
+  }
+
+  std::printf(
+      "\nNote: with the proof-faithful iteration count, alpha * f(2n/r) "
+      "exceeds m for these n, so the union saturates towards G — the size "
+      "bound is vacuous below the crossover scale. The dense-family table "
+      "below uses the practical preset (c = 0.25, validity still holding per "
+      "experiment A1) where sparsification is visible.\n");
+
+  for (const double k : {3.0, 5.0}) {
+    for (const std::size_t r : {1u, 2u}) {
+      banner("complete graphs, practical preset c=0.25: k = " +
+             std::to_string(static_cast<int>(k)) + ", r = " + std::to_string(r));
+      Table t({"n", "m", "|H|", "|H|/m", "alpha", "valid(sampled)", "sec"});
+      std::vector<double> xs, ys;
+      for (const std::size_t n : {64u, 128u, 256u}) {
+        const Graph g = complete(n);
+        ConversionOptions opt;
+        opt.iteration_constant = 0.25;
+        Timer timer;
+        const auto res = ft_greedy_spanner(g, k, r, 11 * n + r, opt);
+        const double sec = timer.seconds();
+        const Graph h = g.edge_subgraph(res.edges);
+        const auto check = check_ft_spanner_sampled(g, h, k, r, 10, 20, 5);
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(static_cast<double>(res.edges.size()));
+        t.row()
+            .cell(n)
+            .cell(g.num_edges())
+            .cell(res.edges.size())
+            .cell(static_cast<double>(res.edges.size()) / g.num_edges(), 3)
+            .cell(res.iterations)
+            .cell(check.valid ? "yes" : "NO")
+            .cell(sec, 2);
+      }
+      t.print();
+      std::printf("log-log slope of |H| vs n: %.3f "
+                  "(paper exponent %.3f + o(1); m itself grows with slope 2)\n",
+                  loglog_slope(xs, ys), 1.0 + 2.0 / (k + 1.0));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E2 — Theorem 1.1 vs CLPR09: polynomial vs exponential dependence on r.
+//
+// Fixed n and k = 3; sweep r. The conversion's measured size should track
+// r^{2-2/(k+1)} = r^{3/2} (times log n), while CLPR09's published bound
+// grows like r² k^{r+1} — exponentially. We print measured size, the two
+// analytic bounds normalized to their r = 1 values, and the layered-greedy
+// heuristic size for scale.
+#include <cstdio>
+#include <vector>
+
+#include "ftspanner/baselines.hpp"
+#include "ftspanner/conversion.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ftspan;
+
+int main() {
+  std::printf("# E2: size vs r at n = 256, k = 3 (Theorem 1.1 vs CLPR09)\n");
+
+  const std::size_t n = 256;
+  const double k = 3.0;
+  const Graph g = gnp(n, 24.0 / n, 42);
+  std::printf("# instance: G(%zu, 24/n), m = %zu\n", n, g.num_edges());
+
+  const double ours1 = corollary22_size_bound(n, k, 1);
+  const double clpr1 = clpr09_size_bound(n, k, 1);
+
+  banner("size vs r");
+  Table t({"r", "|H| measured", "|H|/m", "layered |H|", "ours bound (rel r=1)",
+           "CLPR09 bound (rel r=1)", "alpha", "sec"});
+  std::vector<double> rs, sizes;
+  for (const std::size_t r : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
+    Timer timer;
+    const auto res = ft_greedy_spanner(g, k, r, 17 * r + 1);
+    const double sec = timer.seconds();
+    const auto layered = layered_greedy_spanner(g, k, r);
+    rs.push_back(static_cast<double>(r));
+    sizes.push_back(static_cast<double>(res.edges.size()));
+    t.row()
+        .cell(r)
+        .cell(res.edges.size())
+        .cell(static_cast<double>(res.edges.size()) / g.num_edges(), 3)
+        .cell(layered.size())
+        .cell(corollary22_size_bound(n, k, r) / ours1, 2)
+        .cell(clpr09_size_bound(n, k, r) / clpr1, 1)
+        .cell(res.iterations)
+        .cell(sec, 2);
+  }
+  t.print();
+  std::printf(
+      "log-log slope of measured |H| vs r: %.3f "
+      "(paper: <= 2 - 2/(k+1) = %.3f; saturation towards m lowers it)\n",
+      loglog_slope(rs, sizes), 2.0 - 2.0 / (k + 1.0));
+  std::printf(
+      "CLPR09 bound grows by %.0fx from r=1 to r=8; ours by %.1fx — the "
+      "exponential-vs-polynomial separation of Theorem 1.1.\n",
+      clpr09_size_bound(n, k, 8) / clpr1, corollary22_size_bound(n, k, 8) / ours1);
+
+  // Below the saturation scale the measured r-dependence needs a dense
+  // instance and the practical iteration preset (validity per experiment A1).
+  {
+    const Graph kn = complete(128);
+    banner("K_128, practical preset c = 0.25, k = 5: measured size vs r");
+    Table t2({"r", "|H| measured", "|H|/m", "alpha", "sec"});
+    std::vector<double> rs2, sizes2;
+    for (const std::size_t r : {1u, 2u, 3u, 4u}) {
+      ConversionOptions opt;
+      opt.iteration_constant = 0.25;
+      Timer timer;
+      const auto res = ft_greedy_spanner(kn, 5.0, r, 23 * r + 5, opt);
+      const double sec = timer.seconds();
+      rs2.push_back(static_cast<double>(r));
+      sizes2.push_back(static_cast<double>(res.edges.size()));
+      t2.row()
+          .cell(r)
+          .cell(res.edges.size())
+          .cell(static_cast<double>(res.edges.size()) / kn.num_edges(), 3)
+          .cell(res.iterations)
+          .cell(sec, 2);
+    }
+    t2.print();
+    std::printf("log-log slope of measured |H| vs r: %.3f "
+                "(polynomial, far below CLPR09's exponential growth)\n",
+                loglog_slope(rs2, sizes2));
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E3 — fault-tolerance validity: the definition in action.
+//
+// Compare three constructions under vertex faults: the plain greedy spanner
+// (no fault tolerance), the layered-greedy heuristic (edge-disjoint layers),
+// and the Theorem 2.1 conversion. For each we report size and the worst
+// stretch found by exact enumeration (small n) and by the targeted
+// adversary (larger n). The conversion should be the only one that is
+// always valid.
+#include <cstdio>
+
+#include "ftspanner/baselines.hpp"
+#include "ftspanner/conversion.hpp"
+#include "ftspanner/validate.hpp"
+#include "graph/generators.hpp"
+#include "spanner/greedy.hpp"
+#include "util/table.hpp"
+
+using namespace ftspan;
+
+namespace {
+
+void report(const char* name, const Graph& g, const Graph& h, double k,
+            std::size_t r, Table& t, bool exact) {
+  const FtCheckResult check =
+      exact ? check_ft_spanner_exact(g, h, k, r)
+            : check_ft_spanner_sampled(g, h, k, r, 40, 60, 99);
+  t.row()
+      .cell(name)
+      .cell(h.num_edges())
+      .cell(check.worst_stretch >= kInfiniteWeight
+                ? std::string("disconnected")
+                : [&] {
+                    char buf[32];
+                    std::snprintf(buf, sizeof buf, "%.2f", check.worst_stretch);
+                    return std::string(buf);
+                  }())
+      .cell(check.valid ? "yes" : "NO")
+      .cell(check.fault_sets_checked);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E3: stretch under vertex faults (definition of r-FT)\n");
+
+  {
+    banner("exact enumeration: K_14, k = 3, r = 1");
+    const Graph g = complete(14);
+    Table t({"construction", "|H|", "worst stretch", "valid", "fault sets"});
+    report("plain greedy", g, greedy_spanner_graph(g, 3.0), 3.0, 1, t, true);
+    report("layered greedy", g, g.edge_subgraph(layered_greedy_spanner(g, 3.0, 1)),
+           3.0, 1, t, true);
+    const auto conv = ft_greedy_spanner(g, 3.0, 1, 7);
+    report("conversion (Thm 2.1)", g, g.edge_subgraph(conv.edges), 3.0, 1, t, true);
+    t.print();
+  }
+
+  {
+    banner("exact enumeration: G(18, 0.5), k = 3, r = 2");
+    const Graph g = gnp(18, 0.5, 11);
+    Table t({"construction", "|H|", "worst stretch", "valid", "fault sets"});
+    report("plain greedy", g, greedy_spanner_graph(g, 3.0), 3.0, 2, t, true);
+    report("layered greedy", g, g.edge_subgraph(layered_greedy_spanner(g, 3.0, 2)),
+           3.0, 2, t, true);
+    const auto conv = ft_greedy_spanner(g, 3.0, 2, 13);
+    report("conversion (Thm 2.1)", g, g.edge_subgraph(conv.edges), 3.0, 2, t, true);
+    t.print();
+  }
+
+  {
+    banner("sampled + adversarial: G(128, 12/n), k = 5, r = 2");
+    const Graph g = gnp(128, 12.0 / 128, 17);
+    Table t({"construction", "|H|", "worst stretch", "valid", "fault sets"});
+    report("plain greedy", g, greedy_spanner_graph(g, 5.0), 5.0, 2, t, false);
+    report("layered greedy", g, g.edge_subgraph(layered_greedy_spanner(g, 5.0, 2)),
+           5.0, 2, t, false);
+    const auto conv = ft_greedy_spanner(g, 5.0, 2, 19);
+    report("conversion (Thm 2.1)", g, g.edge_subgraph(conv.edges), 5.0, 2, t, false);
+    t.print();
+  }
+
+  std::printf(
+      "\nReading: plain greedy is a valid k-spanner but fails under faults; "
+      "the conversion stays within stretch k for every fault set tried.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E5 — Theorem 3.3: the O(log n)-approximation, ratio independent of r.
+//
+// On small directed instances we compute the LP (4) optimum (a lower bound
+// on OPT), the rounded solution's cost, and — where branch-and-bound is
+// feasible — the true OPT. The claim to observe: cost / LP* stays flat as r
+// grows (contrast with E6's DK10 baseline).
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "spanner2/exact_bb.hpp"
+#include "spanner2/rounding.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ftspan;
+
+int main() {
+  std::printf("# E5: approximation quality of Theorem 3.3 rounding\n");
+
+  {
+    banner("vs true OPT (branch & bound), n = 8, G(n, 0.5), 3 seeds");
+    Table t({"r", "LP(4)*", "OPT", "rounded", "rounded/OPT", "rounded/LP*",
+             "OPT/LP*"});
+    for (const std::size_t r : {0u, 1u, 2u}) {
+      Stats lp, opt, cost;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const Digraph g = di_gnp(8, 0.5, seed);
+        const auto exact = exact_min_ft_2spanner(g, r);
+        const auto rounded = approx_ft_2spanner(g, r, seed * 7 + r);
+        if (!rounded.valid || !exact.proven_optimal) continue;
+        lp.add(rounded.lp_value);
+        opt.add(exact.cost);
+        cost.add(rounded.cost);
+      }
+      t.row()
+          .cell(r)
+          .cell(lp.mean(), 1)
+          .cell(opt.mean(), 1)
+          .cell(cost.mean(), 1)
+          .cell(cost.mean() / opt.mean(), 3)
+          .cell(cost.mean() / lp.mean(), 3)
+          .cell(opt.mean() / lp.mean(), 3);
+    }
+    t.print();
+  }
+
+  {
+    banner("vs LP* only, n in {12, 16, 20}, G(n, 0.4), r sweep, 3 seeds");
+    Table t({"n", "r", "LP(4)*", "rounded", "rounded/LP*", "alpha",
+             "KC cuts", "repair edges"});
+    for (const std::size_t n : {12u, 16u, 20u}) {
+      for (const std::size_t r : {0u, 1u, 2u, 3u}) {
+        Stats lp, cost, cuts, repaired;
+        double alpha = 0;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+          const Digraph g = di_gnp(n, 0.4, 100 * n + seed);
+          const auto res = approx_ft_2spanner(g, r, seed * 13 + r);
+          if (!res.valid) continue;
+          lp.add(res.lp_value);
+          cost.add(res.cost);
+          cuts.add(static_cast<double>(res.relaxation.cuts_added));
+          repaired.add(static_cast<double>(res.repaired_edges));
+          alpha = res.alpha;
+        }
+        t.row()
+            .cell(n)
+            .cell(r)
+            .cell(lp.mean(), 1)
+            .cell(cost.mean(), 1)
+            .cell(cost.mean() / lp.mean(), 3)
+            .cell(alpha, 2)
+            .cell(cuts.mean(), 1)
+            .cell(repaired.mean(), 1);
+      }
+    }
+    t.print();
+    std::printf(
+        "Reading: rounded/LP* does not grow with r (Theorem 3.3's "
+        "r-independence); it grows mildly with n (the O(log n) factor).\n");
+  }
+  return 0;
+}

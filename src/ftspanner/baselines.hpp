@@ -1,0 +1,35 @@
+// Comparators for the Theorem 2.1 conversion.
+//
+// 1. union_over_faults_spanner — the exact (exponential) strategy CLPR09
+//    start from: build a spanner of G \ F for *every* fault set |F| <= r and
+//    take the union. Always valid; feasible only for small C(n, r).
+// 2. layered_greedy_spanner — a natural heuristic: r+1 rounds of the greedy
+//    spanner, each round forbidden from reusing earlier rounds' edges
+//    (union of r+1 edge-disjoint k-spanners). Cheap and small but NOT
+//    vertex-fault-tolerant in general; experiment E3 shows it failing where
+//    the conversion holds.
+// 3. clpr09_size_bound (in conversion.hpp) — CLPR09's published size bound as
+//    an analytic curve, used to exhibit the exponential-vs-polynomial
+//    r-dependence without reimplementing their superseded construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftspanner/conversion.hpp"
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Union of base spanners over every fault set of size <= r.
+/// Throws std::runtime_error if there are more than `max_fault_sets` sets.
+std::vector<EdgeId> union_over_faults_spanner(
+    const Graph& g, std::size_t r, const BaseSpanner& base, std::uint64_t seed,
+    std::size_t max_fault_sets = 200'000);
+
+/// Union of r+1 pairwise edge-disjoint greedy k-spanners (heuristic; valid
+/// against r *edge* faults but not against vertex faults in general).
+std::vector<EdgeId> layered_greedy_spanner(const Graph& g, double k,
+                                           std::size_t r);
+
+}  // namespace ftspan

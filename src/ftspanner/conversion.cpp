@@ -1,0 +1,95 @@
+#include "ftspanner/conversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spanner/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+std::size_t conversion_iterations(std::size_t r, std::size_t n, double c) {
+  // The proof of Theorem 2.1 needs, for each (fault set, edge) pair, an
+  // iteration where both endpoints survive and the fault set is oversampled:
+  // success probability q = keep² (1-keep)^r per iteration (>= 1/(4r²) for
+  // r >= 2, = 1/8 for r = 1). A union bound over the <= n^{r+2} pairs then
+  // asks for alpha = c (r+2) ln n / q — this *is* Θ(r³ log n), with the
+  // constants spelled out so that c = 1 is already valid at small n.
+  const double rr = static_cast<double>(std::max<std::size_t>(r, 1));
+  const double keep = rr >= 2 ? 1.0 / rr : 0.5;
+  const double q = keep * keep * std::pow(1.0 - keep, rr);
+  const double ln_n = std::log(static_cast<double>(std::max<std::size_t>(n, 2)));
+  return static_cast<std::size_t>(std::ceil(c * (rr + 2.0) * ln_n / q));
+}
+
+ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
+                                        const BaseSpanner& base,
+                                        std::uint64_t seed,
+                                        const ConversionOptions& options) {
+  if (r < 1)
+    throw std::invalid_argument("fault_tolerant_spanner: r must be >= 1");
+  const std::size_t n = g.num_vertices();
+
+  // Per-vertex survival probability: 1/r for r >= 2, 1/2 for r = 1 (the
+  // proof of Theorem 2.1 sets p = 1 - 1/r and special-cases r = 1).
+  double keep = (r >= 2) ? 1.0 / static_cast<double>(r) : 0.5;
+  keep = std::clamp(keep * options.keep_probability_scale, 1e-9, 1.0);
+
+  const std::size_t alpha =
+      options.iterations.value_or(conversion_iterations(r, n, options.iteration_constant));
+
+  Rng rng(seed);
+  std::vector<char> in_spanner(g.num_edges(), 0);
+
+  ConversionResult result;
+  result.iterations = alpha;
+  result.keep_probability = keep;
+
+  VertexSet removed(n);
+  for (std::size_t it = 0; it < alpha; ++it) {
+    removed.clear();
+    std::size_t survivors = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (rng.bernoulli(keep))
+        ++survivors;
+      else
+        removed.insert(v);
+    }
+    result.max_survivors = std::max(result.max_survivors, survivors);
+    if (survivors < 2) continue;  // nothing to span
+    for (EdgeId id : base(g, &removed, rng())) in_spanner[id] = 1;
+  }
+
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (in_spanner[id]) result.edges.push_back(id);
+  return result;
+}
+
+ConversionResult ft_greedy_spanner(const Graph& g, double k, std::size_t r,
+                                   std::uint64_t seed,
+                                   const ConversionOptions& options) {
+  const BaseSpanner base = [k](const Graph& graph, const VertexSet* mask,
+                               std::uint64_t) {
+    return greedy_spanner(graph, k, mask);
+  };
+  return fault_tolerant_spanner(g, r, base, seed, options);
+}
+
+double corollary22_size_bound(std::size_t n, double k, std::size_t r) {
+  const double nn = static_cast<double>(std::max<std::size_t>(n, 2));
+  const double rr = static_cast<double>(std::max<std::size_t>(r, 1));
+  const double exp_r = 2.0 - 2.0 / (k + 1.0);
+  const double exp_n = 1.0 + 2.0 / (k + 1.0);
+  return std::pow(rr, exp_r) * std::pow(nn, exp_n) * std::log(nn);
+}
+
+double clpr09_size_bound(std::size_t n, double stretch, std::size_t r) {
+  const double nn = static_cast<double>(std::max<std::size_t>(n, 2));
+  const double rr = static_cast<double>(std::max<std::size_t>(r, 1));
+  const double k = (stretch + 1.0) / 2.0;  // stretch 2k-1 -> parameter k
+  return rr * rr * std::pow(k, rr + 1.0) * std::pow(nn, 1.0 + 1.0 / k) *
+         std::pow(std::log(nn), 1.0 - 1.0 / k);
+}
+
+}  // namespace ftspan

@@ -1,0 +1,72 @@
+// Theorem 2.1: the fault-tolerance conversion.
+//
+// Given any k-spanner construction, build an r-fault-tolerant k-spanner by
+// repeating Θ(r³ log n) times: sample a fault set J by putting each vertex
+// into J independently with probability 1 - 1/r (1/2 when r = 1), run the
+// base construction on G \ J, and take the union of all iterations.
+//
+// The oversampling is the point: a single iteration's survivors G \ J
+// simultaneously certify the spanner condition for *many* fault sets F of
+// size <= r (all those with F ⊆ J and the relevant edge endpoints alive),
+// which is why polynomially many iterations suffice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// A pluggable k-spanner construction: (graph, removed-vertex mask, seed) ->
+/// edge ids of a k-spanner of G \ mask. Randomized bases consume the seed;
+/// deterministic ones ignore it.
+using BaseSpanner = std::function<std::vector<EdgeId>(
+    const Graph&, const VertexSet*, std::uint64_t)>;
+
+struct ConversionOptions {
+  /// c in alpha = ceil(c * max(r,1)^3 * ln n). Theorem 2.1 needs c = Θ(1);
+  /// experiment A1 measures how small c can go in practice.
+  double iteration_constant = 1.0;
+
+  /// Hard override of the iteration count (ignores iteration_constant).
+  std::optional<std::size_t> iterations;
+
+  /// Ablation A2: vertex keep-probability = scale * (1/r), clamped to (0,1].
+  /// The paper's choice is scale = 1.
+  double keep_probability_scale = 1.0;
+};
+
+struct ConversionResult {
+  std::vector<EdgeId> edges;      ///< spanner edges (ids into the input graph)
+  std::size_t iterations = 0;     ///< alpha actually used
+  std::size_t max_survivors = 0;  ///< largest |V \ J| over iterations
+  double keep_probability = 0;    ///< per-vertex survival probability used
+};
+
+/// Number of iterations alpha = ceil(c * max(r,1)^3 * ln n) used by the
+/// conversion (Theorem 2.1's Θ(r³ log n)).
+std::size_t conversion_iterations(std::size_t r, std::size_t n, double c = 1.0);
+
+/// The conversion of Theorem 2.1. Requires r >= 1 and k >= 1.
+ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
+                                        const BaseSpanner& base,
+                                        std::uint64_t seed,
+                                        const ConversionOptions& options = {});
+
+/// Corollary 2.2: the conversion applied to the greedy k-spanner.
+ConversionResult ft_greedy_spanner(const Graph& g, double k, std::size_t r,
+                                   std::uint64_t seed,
+                                   const ConversionOptions& options = {});
+
+/// Corollary 2.2's size bound O(r^{2-2/(k+1)} n^{1+2/(k+1)} log n) (constant 1).
+double corollary22_size_bound(std::size_t n, double k, std::size_t r);
+
+/// CLPR09's size bound O(r² k^{r+1} n^{1+1/k} log^{1-1/k} n) for stretch
+/// 2k-1 (constant 1), expressed in terms of the *stretch* s = 2k-1 so it is
+/// directly comparable with corollary22_size_bound(n, s, r).
+double clpr09_size_bound(std::size_t n, double stretch, std::size_t r);
+
+}  // namespace ftspan

@@ -1,0 +1,242 @@
+#include "ftspanner/edge_faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "ftspanner/validate.hpp"  // count_fault_sets (C(m, <=r) reuse)
+#include "spanner/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+namespace {
+
+struct QueueItem {
+  Weight dist;
+  Vertex v;
+  bool operator>(const QueueItem& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+struct EdgeAvoidingTree {
+  std::vector<Weight> dist;
+  std::vector<EdgeId> via;  ///< edge used to reach each vertex
+};
+
+EdgeAvoidingTree dijkstra_avoiding(const Graph& g, Vertex source,
+                                   const std::vector<char>& dead) {
+  EdgeAvoidingTree t;
+  t.dist.assign(g.num_vertices(), kInfiniteWeight);
+  t.via.assign(g.num_vertices(), kInvalidEdge);
+  MinQueue q;
+  t.dist[source] = 0;
+  q.push({0, source});
+  while (!q.empty()) {
+    const auto [d, v] = q.top();
+    q.pop();
+    if (d > t.dist[v]) continue;
+    for (const Arc& a : g.neighbors(v)) {
+      if (dead[a.edge]) continue;
+      const Weight nd = d + a.w;
+      if (nd < t.dist[a.to]) {
+        t.dist[a.to] = nd;
+        t.via[a.to] = a.edge;
+        q.push({nd, a.to});
+      }
+    }
+  }
+  return t;
+}
+
+/// Maps each h-edge to the corresponding g-edge id (by endpoints).
+std::vector<EdgeId> h_to_g_edges(const Graph& g, const Graph& h) {
+  std::vector<EdgeId> map(h.num_edges(), kInvalidEdge);
+  for (EdgeId id = 0; id < h.num_edges(); ++id) {
+    const Edge& e = h.edge(id);
+    const auto gid = g.edge_id(e.u, e.v);
+    if (gid) map[id] = *gid;
+  }
+  return map;
+}
+
+/// Checks one edge-fault set; updates the result.
+void check_one(const Graph& g, const Graph& h,
+               const std::vector<EdgeId>& h2g, double k,
+               const std::vector<char>& dead_g, EdgeFtCheckResult& out,
+               const std::vector<EdgeId>& fault_list) {
+  ++out.fault_sets_checked;
+  std::vector<char> dead_h(h.num_edges(), 0);
+  for (EdgeId hid = 0; hid < h.num_edges(); ++hid)
+    if (h2g[hid] != kInvalidEdge && dead_g[h2g[hid]]) dead_h[hid] = 1;
+
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    bool relevant = false;
+    for (const Arc& a : g.neighbors(u))
+      if (a.to > u && !dead_g[a.edge]) {
+        relevant = true;
+        break;
+      }
+    if (!relevant) continue;
+    const auto dg = dijkstra_avoiding(g, u, dead_g);
+    const auto dh = dijkstra_avoiding(h, u, dead_h);
+    for (const Arc& a : g.neighbors(u)) {
+      if (a.to < u || dead_g[a.edge]) continue;
+      if (dg.dist[a.to] >= kInfiniteWeight || dg.dist[a.to] <= 0) continue;
+      const double stretch = dh.dist[a.to] < kInfiniteWeight
+                                 ? dh.dist[a.to] / dg.dist[a.to]
+                                 : std::numeric_limits<double>::infinity();
+      if (stretch > out.worst_stretch) {
+        out.worst_stretch = stretch;
+        out.witness_faults = fault_list;
+      }
+      if (stretch > k * (1 + 1e-9)) out.valid = false;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t edge_conversion_iterations(std::size_t r, std::size_t n, double c) {
+  const double rr = static_cast<double>(std::max<std::size_t>(r, 1));
+  const double keep = rr >= 2 ? 1.0 / rr : 0.5;
+  const double q = keep * std::pow(1.0 - keep, rr);
+  const double ln_n = std::log(static_cast<double>(std::max<std::size_t>(n, 2)));
+  return static_cast<std::size_t>(std::ceil(c * (rr + 2.0) * ln_n / q));
+}
+
+EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
+                                    std::uint64_t seed,
+                                    const EdgeFtOptions& options) {
+  if (r < 1)
+    throw std::invalid_argument("ft_edge_greedy_spanner: r must be >= 1");
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+
+  const double keep = r >= 2 ? 1.0 / static_cast<double>(r) : 0.5;
+  EdgeFtResult out;
+  out.keep_probability = keep;
+  out.iterations = options.iterations.value_or(
+      edge_conversion_iterations(r, n, options.iteration_constant));
+
+  Rng rng(seed);
+  std::vector<char> in_spanner(m, 0);
+  for (std::size_t it = 0; it < out.iterations; ++it) {
+    // Survivor subgraph: alive edges, same vertex ids; remember the mapping
+    // from the subgraph's (dense) edge ids back to g's.
+    Graph sub(n);
+    std::vector<EdgeId> back;
+    back.reserve(m);
+    for (EdgeId id = 0; id < m; ++id) {
+      if (!rng.bernoulli(keep)) continue;
+      const Edge& e = g.edge(id);
+      sub.add_edge(e.u, e.v, e.w);
+      back.push_back(id);
+    }
+    for (EdgeId sub_id : greedy_spanner(sub, k)) in_spanner[back[sub_id]] = 1;
+  }
+
+  for (EdgeId id = 0; id < m; ++id)
+    if (in_spanner[id]) out.edges.push_back(id);
+  return out;
+}
+
+std::vector<Weight> distances_avoiding_edges(const Graph& g, Vertex source,
+                                             const std::vector<char>& dead) {
+  return dijkstra_avoiding(g, source, dead).dist;
+}
+
+EdgeFtCheckResult check_edge_ft_spanner_exact(const Graph& g, const Graph& h,
+                                              double k, std::size_t r,
+                                              std::size_t max_fault_sets) {
+  const std::size_t m = g.num_edges();
+  if (count_fault_sets(m, r) > max_fault_sets)
+    throw std::runtime_error(
+        "check_edge_ft_spanner_exact: too many edge-fault sets");
+
+  const auto h2g = h_to_g_edges(g, h);
+  EdgeFtCheckResult out;
+
+  for (std::size_t size = 0; size <= std::min(r, m); ++size) {
+    std::vector<EdgeId> comb(size);
+    for (std::size_t i = 0; i < size; ++i) comb[i] = static_cast<EdgeId>(i);
+    while (true) {
+      std::vector<char> dead(m, 0);
+      for (EdgeId e : comb) dead[e] = 1;
+      check_one(g, h, h2g, k, dead, out, comb);
+
+      if (size == 0) break;
+      std::size_t i = size;
+      while (i > 0) {
+        --i;
+        if (comb[i] != static_cast<EdgeId>(m - size + i)) break;
+        if (i == 0) {
+          i = size;
+          break;
+        }
+      }
+      if (i == size) break;
+      ++comb[i];
+      for (std::size_t j = i + 1; j < size; ++j)
+        comb[j] = static_cast<EdgeId>(comb[j - 1] + 1);
+    }
+  }
+  return out;
+}
+
+EdgeFtCheckResult check_edge_ft_spanner_sampled(const Graph& g, const Graph& h,
+                                                double k, std::size_t r,
+                                                std::size_t random_trials,
+                                                std::size_t adversarial_edges,
+                                                std::uint64_t seed) {
+  const std::size_t m = g.num_edges();
+  const auto h2g = h_to_g_edges(g, h);
+  Rng rng(seed);
+  EdgeFtCheckResult out;
+  if (m == 0) return out;
+
+  std::vector<EdgeId> pool(m);
+  for (EdgeId e = 0; e < m; ++e) pool[e] = e;
+  const std::size_t fault_size = std::min(r, m);
+
+  for (std::size_t t = 0; t < random_trials; ++t) {
+    rng.shuffle(pool);
+    std::vector<char> dead(m, 0);
+    std::vector<EdgeId> faults(pool.begin(), pool.begin() + fault_size);
+    for (EdgeId e : faults) dead[e] = 1;
+    check_one(g, h, h2g, k, dead, out, faults);
+  }
+
+  // Adversary: fail edges along H's current shortest path for a probed edge.
+  for (std::size_t t = 0; t < adversarial_edges; ++t) {
+    const EdgeId probe = static_cast<EdgeId>(rng.uniform_index(m));
+    const Edge& e = g.edge(probe);
+    std::vector<char> dead_g(m, 0);
+    std::vector<char> dead_h(h.num_edges(), 0);
+    std::vector<EdgeId> faults;
+    for (std::size_t step = 0; step < r; ++step) {
+      const auto dh = dijkstra_avoiding(h, e.u, dead_h);
+      if (dh.dist[e.v] >= kInfiniteWeight) break;
+      // Collect the h-path's edges (by walking via[] backwards).
+      std::vector<EdgeId> path;
+      for (Vertex x = e.v; dh.via[x] != kInvalidEdge;
+           x = h.edge(dh.via[x]).other(x))
+        path.push_back(dh.via[x]);
+      if (path.empty()) break;
+      const EdgeId victim_h = path[rng.uniform_index(path.size())];
+      const EdgeId victim_g = h2g[victim_h];
+      if (victim_g == kInvalidEdge || victim_g == probe) continue;
+      dead_h[victim_h] = 1;
+      dead_g[victim_g] = 1;
+      faults.push_back(victim_g);
+    }
+    check_one(g, h, h2g, k, dead_g, out, faults);
+  }
+  return out;
+}
+
+}  // namespace ftspan

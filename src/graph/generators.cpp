@@ -1,0 +1,261 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace ftspan {
+
+namespace {
+
+Weight draw_weight(Rng& rng, double max_weight) {
+  if (max_weight <= 1.0) return 1.0;
+  return rng.uniform(1.0, max_weight);
+}
+
+}  // namespace
+
+Graph gnp(std::size_t n, double p, std::uint64_t seed, double max_weight) {
+  Rng rng(seed);
+  Graph g(n);
+  if (p <= 0) return g;
+  if (p >= 1) {
+    for (Vertex u = 0; u + 1 < n; ++u)
+      for (Vertex v = u + 1; v < n; ++v)
+        g.add_edge(u, v, draw_weight(rng, max_weight));
+    return g;
+  }
+  // Geometric skipping (Batagelj–Brandes): expected O(n + m) time.
+  const double log_q = std::log1p(-p);
+  std::int64_t u = 1, v = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (u < nn) {
+    const double x = 1.0 - rng.uniform();  // in (0, 1]
+    v += 1 + static_cast<std::int64_t>(std::floor(std::log(x) / log_q));
+    while (v >= u && u < nn) {
+      v -= u;
+      ++u;
+    }
+    if (u < nn)
+      g.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v),
+                 draw_weight(rng, max_weight));
+  }
+  return g;
+}
+
+Graph gnp_connected(std::size_t n, double p, std::uint64_t seed,
+                    double max_weight, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = gnp(n, p, hash_combine(seed, static_cast<std::uint64_t>(attempt)),
+                  max_weight);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error(
+      "gnp_connected: no connected sample found; p is likely below the "
+      "connectivity threshold");
+}
+
+Graph random_geometric(std::size_t n, double radius, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (Vertex u = 0; u + 1 < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) {
+      const double dx = x[u] - x[v];
+      const double dy = y[u] - y[v];
+      const double d2 = dx * dx + dy * dy;
+      if (d2 <= r2) g.add_edge(u, v, std::max(std::sqrt(d2), 1e-9));
+    }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph hypercube(std::size_t d) {
+  const std::size_t n = std::size_t{1} << d;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t b = 0; b < d; ++b) {
+      const std::size_t u = v ^ (std::size_t{1} << b);
+      if (u > v) g.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(u));
+    }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (Vertex u = 0; u + 1 < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  Graph g(a + b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v)
+      g.add_edge(u, static_cast<Vertex>(a + v));
+  return g;
+}
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(std::size_t n) {
+  Graph g = path(n);
+  if (n >= 3) g.add_edge(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  Graph g(n);
+  for (Vertex v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m, std::uint64_t seed) {
+  if (n <= m) return complete(n);
+  Rng rng(seed);
+  Graph g(n);
+  // Start from a clique on m+1 vertices so every new vertex has m targets.
+  std::vector<Vertex> chances;  // vertex repeated once per incident edge
+  for (Vertex u = 0; u <= m; ++u)
+    for (Vertex v = u + 1; v <= m; ++v) {
+      g.add_edge(u, v);
+      chances.push_back(u);
+      chances.push_back(v);
+    }
+  for (Vertex v = static_cast<Vertex>(m + 1); v < n; ++v) {
+    VertexSet picked(n);
+    std::size_t added = 0;
+    while (added < m) {
+      const Vertex t = chances[rng.uniform_index(chances.size())];
+      if (picked.contains(t)) continue;
+      picked.insert(t);
+      g.add_edge(v, t);
+      ++added;
+    }
+    for (Vertex t : picked.to_vector()) {
+      chances.push_back(v);
+      chances.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t j = 1; j <= k; ++j) {
+      Vertex u = static_cast<Vertex>(v);
+      Vertex w = static_cast<Vertex>((v + j) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire the far endpoint to a uniform non-neighbor.
+        for (int tries = 0; tries < 32; ++tries) {
+          const Vertex cand = static_cast<Vertex>(rng.uniform_index(n));
+          if (cand != u && !g.has_edge(u, cand)) {
+            w = cand;
+            break;
+          }
+        }
+      }
+      g.add_edge(u, w);
+    }
+  return g;
+}
+
+Graph random_regular_ish(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  std::vector<Vertex> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<Vertex>(i);
+  // d random Hamiltonian cycles superimposed: every vertex gets ~2 edges per
+  // cycle, duplicates silently skipped.
+  const std::size_t cycles = (d + 1) / 2;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    rng.shuffle(perm);
+    for (std::size_t i = 0; i < n; ++i)
+      g.add_edge(perm[i], perm[(i + 1) % n]);
+  }
+  return g;
+}
+
+Digraph di_gnp(std::size_t n, double p, std::uint64_t seed, double max_cost) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = 0; v < n; ++v)
+      if (u != v && rng.bernoulli(p)) g.add_edge(u, v, draw_weight(rng, max_cost));
+  return g;
+}
+
+Digraph di_complete(std::size_t n) {
+  Digraph g(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = 0; v < n; ++v)
+      if (u != v) g.add_edge(u, v);
+  return g;
+}
+
+Digraph bidirect(const Graph& g) {
+  Digraph d(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    d.add_edge(e.u, e.v, e.w);
+    d.add_edge(e.v, e.u, e.w);
+  }
+  return d;
+}
+
+Digraph di_bounded_degree(std::size_t n, std::size_t delta, double density,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  const std::size_t target =
+      static_cast<std::size_t>(density * static_cast<double>(n) * delta);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * target + 1000;
+  while (g.num_edges() < target && attempts < max_attempts) {
+    ++attempts;
+    const Vertex u = static_cast<Vertex>(rng.uniform_index(n));
+    const Vertex v = static_cast<Vertex>(rng.uniform_index(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    if (g.out_degree(u) >= delta || g.in_degree(v) >= delta) continue;
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Digraph gap_gadget(std::size_t r, double big_cost) {
+  // Vertices: 0 = u, 1 = v, 2..r+1 = w_1..w_r.
+  Digraph g(r + 2);
+  g.add_edge(0, 1, big_cost);
+  for (std::size_t i = 0; i < r; ++i) {
+    const Vertex w = static_cast<Vertex>(2 + i);
+    g.add_edge(0, w, 1.0);
+    g.add_edge(w, 1, 1.0);
+  }
+  return g;
+}
+
+}  // namespace ftspan

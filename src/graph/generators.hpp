@@ -1,0 +1,83 @@
+// Graph generators for tests, examples, and the benchmark workloads.
+//
+// All generators are deterministic given the seed. Weighted variants draw
+// lengths uniformly from [1, max_weight]; unit-weight graphs use w = 1.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(std::size_t n, double p, std::uint64_t seed, double max_weight = 1.0);
+
+/// G(n, p) conditioned on connectivity: resamples (new sub-seed) until the
+/// graph is connected; throws after `max_attempts` failures.
+Graph gnp_connected(std::size_t n, double p, std::uint64_t seed,
+                    double max_weight = 1.0, int max_attempts = 64);
+
+/// Random geometric graph: n points uniform in the unit square, edge between
+/// points at Euclidean distance <= radius, length = distance. A standard
+/// proxy for road/sensor networks.
+Graph random_geometric(std::size_t n, double radius, std::uint64_t seed);
+
+/// 2-D grid graph (rows x cols), unit lengths.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// d-dimensional hypercube (2^d vertices), unit lengths.
+Graph hypercube(std::size_t d);
+
+/// Complete graph K_n, unit lengths.
+Graph complete(std::size_t n);
+
+/// Complete bipartite graph K_{a,b}, unit lengths. Every edge of K_{a,b}
+/// must appear in any 2-spanner — the paper's Ω(n²) example for k = 2.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Path P_n, cycle C_n, star S_n (center 0), unit lengths.
+Graph path(std::size_t n);
+Graph cycle(std::size_t n);
+Graph star(std::size_t n);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to m
+/// distinct existing vertices sampled proportionally to degree.
+Graph barabasi_albert(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta.
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     std::uint64_t seed);
+
+/// Random graph with (approximately) regular degree d: d/2 superimposed
+/// random perfect matchings / cycles (simple union).
+Graph random_regular_ish(std::size_t n, std::size_t d, std::uint64_t seed);
+
+// --- Directed generators (Section 3 workloads) ---
+
+/// Directed G(n, p): each ordered pair (u, v), u != v, is an arc with
+/// probability p; costs uniform in [1, max_cost] (1 when max_cost = 1).
+Digraph di_gnp(std::size_t n, double p, std::uint64_t seed,
+               double max_cost = 1.0);
+
+/// Directed complete graph on n vertices with unit costs — the paper's
+/// Ω(r) integrality-gap example for LP (2) (Section 3.1).
+Digraph di_complete(std::size_t n);
+
+/// Bidirected version of an undirected graph (each edge becomes two arcs of
+/// the same cost).
+Digraph bidirect(const Graph& g);
+
+/// Directed random graph with max in/out degree <= delta (for Theorem 3.4
+/// experiments): repeatedly add random arcs subject to the degree cap.
+Digraph di_bounded_degree(std::size_t n, std::size_t delta, double density,
+                          std::uint64_t seed);
+
+/// The paper's Section 3.2 gap gadget: vertices u, v, w_1..w_r; an expensive
+/// arc u -> v of cost M and unit-cost arcs u -> w_i -> v. LP (3) (without
+/// knapsack-cover inequalities) has value ~ M/(r+1) + 2r while OPT >= M.
+Digraph gap_gadget(std::size_t r, double big_cost);
+
+}  // namespace ftspan

@@ -1,0 +1,122 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftspan {
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+EdgeId Graph::add_edge(Vertex u, Vertex v, Weight w) {
+  if (u == v) return kInvalidEdge;
+  if (u >= adj_.size() || v >= adj_.size())
+    throw std::out_of_range("Graph::add_edge: vertex out of range");
+  const std::uint64_t k = key(u, v);
+  if (index_.contains(k)) return kInvalidEdge;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v, w});
+  adj_[u].push_back({v, w, id});
+  adj_[v].push_back({u, w, id});
+  index_.emplace(k, id);
+  return id;
+}
+
+std::optional<EdgeId> Graph::edge_id(Vertex u, Vertex v) const {
+  if (u >= adj_.size() || v >= adj_.size() || u == v) return std::nullopt;
+  const auto it = index_.find(key(u, v));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Weight Graph::total_weight() const {
+  Weight s = 0;
+  for (const Edge& e : edges_) s += e.w;
+  return s;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& a : adj_) d = std::max(d, a.size());
+  return d;
+}
+
+Graph Graph::subgraph_without(const VertexSet& faults) const {
+  Graph out(num_vertices());
+  for (const Edge& e : edges_)
+    if (!faults.contains(e.u) && !faults.contains(e.v))
+      out.add_edge(e.u, e.v, e.w);
+  return out;
+}
+
+Graph Graph::edge_subgraph(const std::vector<EdgeId>& ids) const {
+  Graph out(num_vertices());
+  for (EdgeId id : ids) {
+    const Edge& e = edges_[id];
+    out.add_edge(e.u, e.v, e.w);
+  }
+  return out;
+}
+
+Graph Graph::from_edges(std::size_t n, const std::vector<Edge>& edges) {
+  Graph g(n);
+  for (const Edge& e : edges) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+Digraph::Digraph(std::size_t n) : out_(n), in_(n) {}
+
+EdgeId Digraph::add_edge(Vertex u, Vertex v, Weight w) {
+  if (u == v) return kInvalidEdge;
+  if (u >= out_.size() || v >= out_.size())
+    throw std::out_of_range("Digraph::add_edge: vertex out of range");
+  const std::uint64_t k = key(u, v);
+  if (index_.contains(k)) return kInvalidEdge;
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v, w});
+  out_[u].push_back({v, w, id});
+  in_[v].push_back({u, w, id});
+  index_.emplace(k, id);
+  return id;
+}
+
+std::optional<EdgeId> Digraph::edge_id(Vertex u, Vertex v) const {
+  if (u >= out_.size() || v >= out_.size() || u == v) return std::nullopt;
+  const auto it = index_.find(key(u, v));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Digraph::max_degree() const {
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < out_.size(); ++v)
+    d = std::max({d, out_[v].size(), in_[v].size()});
+  return d;
+}
+
+Weight Digraph::total_cost() const {
+  Weight s = 0;
+  for (const DiEdge& e : edges_) s += e.w;
+  return s;
+}
+
+std::vector<Vertex> Digraph::two_path_midpoints(Vertex u, Vertex v) const {
+  // Scan the smaller of out(u) and in(v).
+  std::vector<Vertex> mids;
+  if (out_[u].size() <= in_[v].size()) {
+    for (const Arc& a : out_[u])
+      if (a.to != v && has_edge(a.to, v)) mids.push_back(a.to);
+  } else {
+    for (const Arc& a : in_[v])
+      if (a.to != u && has_edge(u, a.to)) mids.push_back(a.to);
+  }
+  std::sort(mids.begin(), mids.end());
+  return mids;
+}
+
+Digraph Digraph::from_edges(std::size_t n, const std::vector<DiEdge>& edges) {
+  Digraph g(n);
+  for (const DiEdge& e : edges) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,104 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftspan {
+
+namespace {
+
+/// Reads the next non-comment, non-empty line into `line`; false at EOF.
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+struct Header {
+  std::size_t n;
+  std::size_t m;
+  char kind;
+};
+
+Header read_header(std::istream& is) {
+  std::string line;
+  if (!next_content_line(is, line))
+    throw std::runtime_error("graph io: missing header line");
+  std::istringstream ls(line);
+  Header h{};
+  if (!(ls >> h.n >> h.m >> h.kind) || (h.kind != 'u' && h.kind != 'd'))
+    throw std::runtime_error("graph io: malformed header: " + line);
+  return h;
+}
+
+}  // namespace
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << std::setprecision(17);  // round-trip exact for doubles
+  os << g.num_vertices() << " " << g.num_edges() << " u\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << " " << e.w << "\n";
+}
+
+void write_digraph(std::ostream& os, const Digraph& g) {
+  os << std::setprecision(17);
+  os << g.num_vertices() << " " << g.num_edges() << " d\n";
+  for (const DiEdge& e : g.edges())
+    os << e.u << " " << e.v << " " << e.w << "\n";
+}
+
+Graph read_graph(std::istream& is) {
+  const Header h = read_header(is);
+  if (h.kind != 'u')
+    throw std::runtime_error("graph io: expected undirected ('u') header");
+  Graph g(h.n);
+  std::string line;
+  for (std::size_t i = 0; i < h.m; ++i) {
+    if (!next_content_line(is, line))
+      throw std::runtime_error("graph io: truncated edge list");
+    std::istringstream ls(line);
+    Vertex u, v;
+    Weight w;
+    if (!(ls >> u >> v >> w))
+      throw std::runtime_error("graph io: malformed edge: " + line);
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+Digraph read_digraph(std::istream& is) {
+  const Header h = read_header(is);
+  if (h.kind != 'd')
+    throw std::runtime_error("graph io: expected directed ('d') header");
+  Digraph g(h.n);
+  std::string line;
+  for (std::size_t i = 0; i < h.m; ++i) {
+    if (!next_content_line(is, line))
+      throw std::runtime_error("graph io: truncated edge list");
+    std::istringstream ls(line);
+    Vertex u, v;
+    Weight w;
+    if (!(ls >> u >> v >> w))
+      throw std::runtime_error("graph io: malformed edge: " + line);
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("graph io: cannot open " + path);
+  write_graph(os, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("graph io: cannot open " + path);
+  return read_graph(is);
+}
+
+}  // namespace ftspan

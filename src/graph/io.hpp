@@ -1,0 +1,27 @@
+// Plain-text edge-list I/O.
+//
+// Format (both graph kinds):
+//   line 1: "<n> <m> <u|d>"        (u = undirected, d = directed)
+//   then m lines: "<u> <v> <w>"
+// '#' starts a comment line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+void write_graph(std::ostream& os, const Graph& g);
+void write_digraph(std::ostream& os, const Digraph& g);
+
+/// Parses an undirected graph; throws std::runtime_error on malformed input.
+Graph read_graph(std::istream& is);
+/// Parses a directed graph; throws std::runtime_error on malformed input.
+Digraph read_digraph(std::istream& is);
+
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+}  // namespace ftspan

@@ -1,0 +1,73 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.hpp"
+#include "graph/union_find.hpp"
+
+namespace ftspan {
+
+bool is_connected(const Graph& g, const VertexSet* faults) {
+  return num_components(g, faults) <= 1;
+}
+
+std::size_t num_components(const Graph& g, const VertexSet* faults) {
+  const std::size_t n = g.num_vertices();
+  UnionFind uf(n);
+  std::size_t dead = 0;
+  for (Vertex v = 0; v < n; ++v)
+    if (faults != nullptr && faults->contains(v)) ++dead;
+  for (const Edge& e : g.edges()) {
+    if (faults != nullptr && (faults->contains(e.u) || faults->contains(e.v)))
+      continue;
+    uf.unite(e.u, e.v);
+  }
+  // Components counted by union-find include each dead vertex as a singleton.
+  return uf.num_components() - dead;
+}
+
+std::size_t hop_eccentricity(const Graph& g, Vertex v,
+                             const VertexSet* faults) {
+  const auto t = bfs(g, v, faults);
+  Weight ecc = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    if (t.reachable(u)) ecc = std::max(ecc, t.dist[u]);
+  return static_cast<std::size_t>(ecc);
+}
+
+std::size_t hop_diameter(const Graph& g, const VertexSet* faults) {
+  std::size_t d = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (faults != nullptr && faults->contains(v)) continue;
+    d = std::max(d, hop_eccentricity(g, v, faults));
+  }
+  return d;
+}
+
+std::size_t weak_diameter(const Graph& g, const std::vector<Vertex>& subset) {
+  std::size_t d = 0;
+  for (Vertex v : subset) {
+    const auto t = bfs(g, v);
+    for (Vertex u : subset) {
+      if (!t.reachable(u)) continue;
+      d = std::max(d, static_cast<std::size_t>(t.dist[u]));
+    }
+  }
+  return d;
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n <= 1) return true;
+  UnionFind uf(n);
+  for (const DiEdge& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.num_components() == 1;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,36 @@
+// Structural graph properties: connectivity, components, diameter, degrees.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Connected on the surviving vertices (vertices outside `faults`)?
+/// A graph with <= 1 surviving vertex counts as connected.
+bool is_connected(const Graph& g, const VertexSet* faults = nullptr);
+
+/// Number of connected components among surviving vertices.
+std::size_t num_components(const Graph& g, const VertexSet* faults = nullptr);
+
+/// Hop-count eccentricity of v (max BFS distance to a reachable vertex).
+std::size_t hop_eccentricity(const Graph& g, Vertex v,
+                             const VertexSet* faults = nullptr);
+
+/// Exact hop diameter (max over vertices of hop_eccentricity); O(n·m).
+/// Returns 0 for empty graphs; unreachable pairs are ignored.
+std::size_t hop_diameter(const Graph& g, const VertexSet* faults = nullptr);
+
+/// Weak (undirected-sense) diameter of a vertex subset S measured through
+/// the whole graph G — the paper's diam(C) for clusters (Definition 3.6).
+std::size_t weak_diameter(const Graph& g, const std::vector<Vertex>& subset);
+
+/// Degree histogram: result[d] = number of vertices of degree d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Is the digraph weakly connected (connected if arcs are undirected)?
+bool is_weakly_connected(const Digraph& g);
+
+}  // namespace ftspan

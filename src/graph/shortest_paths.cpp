@@ -1,0 +1,111 @@
+#include "graph/shortest_paths.hpp"
+
+#include <queue>
+
+namespace ftspan {
+
+namespace {
+
+struct QueueItem {
+  Weight dist;
+  Vertex v;
+  bool operator>(const QueueItem& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+template <class NeighborFn>
+ShortestPathTree dijkstra_impl(std::size_t n, Vertex source,
+                               const VertexSet* faults,
+                               std::optional<Weight> bound,
+                               std::optional<Vertex> target,
+                               NeighborFn&& neighbors) {
+  ShortestPathTree t;
+  t.dist.assign(n, kInfiniteWeight);
+  t.parent.assign(n, kInvalidVertex);
+  if (faults != nullptr && faults->contains(source)) return t;
+
+  MinQueue q;
+  t.dist[source] = 0;
+  q.push({0, source});
+  while (!q.empty()) {
+    const auto [d, v] = q.top();
+    q.pop();
+    if (d > t.dist[v]) continue;  // stale entry
+    if (target && v == *target) break;
+    for (const Arc& a : neighbors(v)) {
+      if (faults != nullptr && faults->contains(a.to)) continue;
+      const Weight nd = d + a.w;
+      if (bound && nd > *bound) continue;
+      if (nd < t.dist[a.to]) {
+        t.dist[a.to] = nd;
+        t.parent[a.to] = v;
+        q.push({nd, a.to});
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& g, Vertex source,
+                          const VertexSet* faults,
+                          std::optional<Weight> bound) {
+  return dijkstra_impl(g.num_vertices(), source, faults, bound, std::nullopt,
+                       [&g](Vertex v) { return g.neighbors(v); });
+}
+
+ShortestPathTree bfs(const Graph& g, Vertex source, const VertexSet* faults,
+                     std::optional<std::size_t> max_hops) {
+  ShortestPathTree t;
+  const std::size_t n = g.num_vertices();
+  t.dist.assign(n, kInfiniteWeight);
+  t.parent.assign(n, kInvalidVertex);
+  if (faults != nullptr && faults->contains(source)) return t;
+
+  std::queue<Vertex> q;
+  t.dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    const Weight d = t.dist[v];
+    if (max_hops && d >= static_cast<Weight>(*max_hops)) continue;
+    for (const Arc& a : g.neighbors(v)) {
+      if (faults != nullptr && faults->contains(a.to)) continue;
+      if (t.dist[a.to] < kInfiniteWeight) continue;
+      t.dist[a.to] = d + 1;
+      t.parent[a.to] = v;
+      q.push(a.to);
+    }
+  }
+  return t;
+}
+
+Weight pair_distance(const Graph& g, Vertex s, Vertex t,
+                     const VertexSet* faults, std::optional<Weight> bound) {
+  const ShortestPathTree tree =
+      dijkstra_impl(g.num_vertices(), s, faults, bound, t,
+                    [&g](Vertex v) { return g.neighbors(v); });
+  return tree.dist[t];
+}
+
+std::vector<std::vector<Weight>> all_pairs_distances(const Graph& g,
+                                                     const VertexSet* faults) {
+  std::vector<std::vector<Weight>> d;
+  d.reserve(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    d.push_back(dijkstra(g, v, faults).dist);
+  return d;
+}
+
+ShortestPathTree dijkstra(const Digraph& g, Vertex source,
+                          const VertexSet* faults,
+                          std::optional<Weight> bound) {
+  return dijkstra_impl(g.num_vertices(), source, faults, bound, std::nullopt,
+                       [&g](Vertex v) { return g.out_neighbors(v); });
+}
+
+}  // namespace ftspan

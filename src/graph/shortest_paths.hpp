@@ -1,0 +1,51 @@
+// Shortest-path routines, all fault-mask aware.
+//
+// Every routine accepts an optional VertexSet of failed vertices; failed
+// vertices are treated as removed (never relaxed, never used as midpoints),
+// which is exactly the G \ F semantics of the fault-tolerance definition.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Result of a single-source run: dist[v] (kInfiniteWeight if unreachable)
+/// and parent[v] (kInvalidVertex for the source / unreachable vertices).
+struct ShortestPathTree {
+  std::vector<Weight> dist;
+  std::vector<Vertex> parent;
+
+  bool reachable(Vertex v) const { return dist[v] < kInfiniteWeight; }
+};
+
+/// Dijkstra from `source` on G \ faults. If `bound` is given, vertices
+/// farther than bound are left at infinity (early exit — used by the greedy
+/// spanner, where only distances <= k * w(e) matter).
+ShortestPathTree dijkstra(const Graph& g, Vertex source,
+                          const VertexSet* faults = nullptr,
+                          std::optional<Weight> bound = std::nullopt);
+
+/// Unweighted BFS (hop counts) from `source` on G \ faults, optionally
+/// stopping at `max_hops`.
+ShortestPathTree bfs(const Graph& g, Vertex source,
+                     const VertexSet* faults = nullptr,
+                     std::optional<std::size_t> max_hops = std::nullopt);
+
+/// Single-pair distance on G \ faults (Dijkstra with early target exit).
+Weight pair_distance(const Graph& g, Vertex s, Vertex t,
+                     const VertexSet* faults = nullptr,
+                     std::optional<Weight> bound = std::nullopt);
+
+/// All-pairs distances (n Dijkstra runs); intended for small graphs.
+std::vector<std::vector<Weight>> all_pairs_distances(
+    const Graph& g, const VertexSet* faults = nullptr);
+
+/// Dijkstra on a digraph following out-arcs.
+ShortestPathTree dijkstra(const Digraph& g, Vertex source,
+                          const VertexSet* faults = nullptr,
+                          std::optional<Weight> bound = std::nullopt);
+
+}  // namespace ftspan

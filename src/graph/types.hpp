@@ -1,0 +1,46 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ftspan {
+
+/// Vertex identifier; vertices of an n-vertex graph are 0 .. n-1.
+using Vertex = std::uint32_t;
+
+/// Edge identifier; dense, assigned in insertion order.
+using EdgeId = std::uint32_t;
+
+/// Edge length (Section 2) or edge cost (Section 3). Non-negative.
+using Weight = double;
+
+inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
+
+/// An undirected edge {u, v} with length w.
+struct Edge {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  Weight w = 1.0;
+
+  /// The endpoint that is not `x`. Precondition: x is an endpoint.
+  Vertex other(Vertex x) const { return x == u ? v : u; }
+};
+
+/// A directed edge (arc) u -> v with cost w.
+struct DiEdge {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  Weight w = 1.0;
+};
+
+/// Adjacency-list entry: neighbor, weight, and the id of the crossed edge.
+struct Arc {
+  Vertex to = kInvalidVertex;
+  Weight w = 1.0;
+  EdgeId edge = kInvalidEdge;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,49 @@
+// Disjoint-set union with path halving and union by size.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace ftspan {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), Vertex{0});
+  }
+
+  Vertex find(Vertex x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already together.
+  bool unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool same(Vertex a, Vertex b) { return find(a) == find(b); }
+
+  std::size_t component_size(Vertex a) { return size_[find(a)]; }
+  std::size_t num_components() const { return components_; }
+
+ private:
+  std::vector<Vertex> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,307 @@
+#include "local/dist_spanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace ftspan::local {
+
+namespace {
+
+constexpr Vertex kUnclustered = std::numeric_limits<Vertex>::max();
+
+/// Protocol message. One struct covers the three message kinds.
+struct Msg {
+  enum Kind : std::uint8_t {
+    kSampleFlood,  ///< (cluster, flag): sampling bit of a cluster, flooded
+    kInfo,         ///< (cluster, flag): sender's cluster + its sampled bit
+    kDecision,     ///< (cluster): sender's new cluster; `removed` edge list
+  };
+  Kind kind = kInfo;
+  Vertex cluster = kUnclustered;
+  bool flag = false;
+  std::vector<Vertex> removed;  ///< kDecision: endpoints of edges the sender removed
+};
+
+struct NodeState {
+  Vertex cluster = kUnclustered;       ///< current cluster (center id)
+  bool cluster_sampled = false;        ///< this phase's sampling bit
+  bool knows_sample = false;           ///< received the bit this phase
+  std::vector<char> removed;           ///< per incident-edge slot: removed?
+  // Info snapshot of neighbors (refreshed in the kInfo round each phase):
+  std::unordered_map<Vertex, std::pair<Vertex, bool>> nbr;  // v -> (cluster, sampled)
+};
+
+}  // namespace
+
+DistSpannerResult distributed_baswana_sen(const Graph& g, std::size_t k,
+                                          std::uint64_t seed,
+                                          const VertexSet* faults) {
+  const std::size_t n = g.num_vertices();
+  DistSpannerResult out;
+  auto alive = [&](Vertex v) { return faults == nullptr || !faults->contains(v); };
+
+  std::vector<char> in_spanner(g.num_edges(), 0);
+  if (k <= 1) {
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+      const Edge& e = g.edge(id);
+      if (alive(e.u) && alive(e.v)) in_spanner[id] = 1;
+    }
+    for (EdgeId id = 0; id < g.num_edges(); ++id)
+      if (in_spanner[id]) out.edges.push_back(id);
+    return out;
+  }
+
+  ftspan::Rng rng(seed);
+  std::vector<NodeState> st(n);
+  std::size_t alive_count = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    st[v].removed.assign(g.degree(v), 0);
+    if (alive(v)) {
+      st[v].cluster = v;
+      ++alive_count;
+    }
+  }
+  if (alive_count == 0) return out;
+  const double p =
+      std::pow(static_cast<double>(std::max<std::size_t>(alive_count, 2)),
+               -1.0 / static_cast<double>(k));
+
+  // Per-vertex RNG substreams so the coin flips are genuinely local.
+  std::vector<ftspan::Rng> local_rng;
+  local_rng.reserve(n);
+  for (Vertex v = 0; v < n; ++v)
+    local_rng.emplace_back(ftspan::hash_combine(seed, v));
+
+  auto slot_of = [&](Vertex v, EdgeId id) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      if (nbrs[i].edge == id) return i;
+    return nbrs.size();  // unreachable for incident edges
+  };
+  auto edge_removed = [&](Vertex v, std::size_t slot) -> char& {
+    return st[v].removed[slot];
+  };
+
+  auto lightest_per_cluster = [&](Vertex v) {
+    // cluster -> (weight, edge id, neighbor), over non-removed alive edges
+    // whose neighbor is currently clustered (per the kInfo snapshot).
+    std::unordered_map<Vertex, std::tuple<Weight, EdgeId, Vertex>> best;
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Arc& a = nbrs[i];
+      if (edge_removed(v, i) || !alive(a.to)) continue;
+      const auto it = st[v].nbr.find(a.to);
+      if (it == st[v].nbr.end()) continue;
+      const Vertex c = it->second.first;
+      if (c == kUnclustered) continue;
+      const auto bit = best.find(c);
+      if (bit == best.end() || a.w < std::get<0>(bit->second))
+        best[c] = {a.w, a.edge, a.to};
+    }
+    return best;
+  };
+
+  // Decision bookkeeping shared between the decision round (sender side)
+  // and the update processing (receiver side).
+  for (std::size_t phase = 1; phase < k; ++phase) {
+    // --- Sub-protocol A: flood this phase's sampling bit (phase rounds). ---
+    for (Vertex v = 0; v < n; ++v) st[v].knows_sample = false;
+    const std::size_t flood_rounds = phase;  // cluster radius <= phase-1
+    auto flood = [&](std::size_t round, Vertex v,
+                     const std::vector<Inbound<Msg>>& inbox, Mailbox<Msg>& mb) {
+      if (round == 0) {
+        if (st[v].cluster == v) {  // center draws the bit
+          st[v].cluster_sampled = local_rng[v].bernoulli(p);
+          st[v].knows_sample = true;
+          Msg m;
+          m.kind = Msg::kSampleFlood;
+          m.cluster = v;
+          m.flag = st[v].cluster_sampled;
+          mb.broadcast(m);
+        }
+        return;
+      }
+      for (const auto& in : inbox) {
+        if (in.msg.kind != Msg::kSampleFlood) continue;
+        if (in.msg.cluster != st[v].cluster || st[v].knows_sample) continue;
+        st[v].cluster_sampled = in.msg.flag;
+        st[v].knows_sample = true;
+        mb.broadcast(in.msg);  // keep flooding within the cluster
+      }
+    };
+    out.stats += run_rounds<Msg>(g, flood_rounds, flood, faults);
+
+    // Vertices that never heard (singleton centers already know; unclustered
+    // vertices have no cluster) -- anyone still unsure is its own evidence
+    // that its cluster bit is "unsampled" only if it has no cluster; centers
+    // always know. Members are within distance phase-1 of their center, so
+    // the flood always reaches them.
+
+    // --- Sub-protocol B: one info-exchange round. ---
+    auto info = [&](std::size_t, Vertex v, const std::vector<Inbound<Msg>>& inbox,
+                    Mailbox<Msg>& mb) {
+      for (const auto& in : inbox)
+        if (in.msg.kind == Msg::kInfo)
+          st[v].nbr[in.from] = {in.msg.cluster,
+                                in.msg.flag && in.msg.cluster != kUnclustered};
+      Msg m;
+      m.kind = Msg::kInfo;
+      m.cluster = st[v].cluster;
+      m.flag = st[v].cluster != kUnclustered && st[v].cluster_sampled;
+      mb.broadcast(m);
+    };
+    // Two rounds: everyone sends, then everyone receives (the second round
+    // sends again, harmlessly — receipt is what matters).
+    out.stats += run_rounds<Msg>(g, 2, info, faults);
+
+    // --- Sub-protocol C: local decision + one announcement round. ---
+    std::vector<Msg> pending(n);
+    for (Vertex v = 0; v < n; ++v) {
+      pending[v].kind = Msg::kDecision;
+      pending[v].cluster = st[v].cluster;
+      if (!alive(v)) continue;
+      if (st[v].cluster == kUnclustered) continue;
+      if (st[v].cluster_sampled) continue;  // cluster survives; nothing to do
+
+      const auto best = lightest_per_cluster(v);
+      // Lightest edge into a *sampled* cluster, if any.
+      bool have_sampled = false;
+      Weight best_w = 0;
+      EdgeId best_e = kInvalidEdge;
+      Vertex best_c = kUnclustered;
+      for (const auto& [c, tup] : best) {
+        const auto& [w, id, nb] = tup;
+        const bool c_sampled = st[v].nbr.count(nb) != 0 && st[v].nbr[nb].second;
+        if (!c_sampled) continue;
+        if (!have_sampled || w < best_w) {
+          have_sampled = true;
+          best_w = w;
+          best_e = id;
+          best_c = c;
+        }
+      }
+
+      auto drop_cluster_edges = [&](Vertex cluster_id) {
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const auto it = st[v].nbr.find(nbrs[i].to);
+          if (it == st[v].nbr.end() || it->second.first != cluster_id) continue;
+          if (edge_removed(v, i)) continue;
+          edge_removed(v, i) = 1;
+          pending[v].removed.push_back(nbrs[i].to);
+        }
+      };
+
+      if (!have_sampled) {
+        for (const auto& [c, tup] : best) {
+          in_spanner[std::get<1>(tup)] = 1;
+          drop_cluster_edges(c);
+        }
+        st[v].cluster = kUnclustered;
+      } else {
+        in_spanner[best_e] = 1;
+        for (const auto& [c, tup] : best) {
+          if (c == best_c) continue;
+          if (std::get<0>(tup) < best_w) {
+            in_spanner[std::get<1>(tup)] = 1;
+            drop_cluster_edges(c);
+          }
+        }
+        drop_cluster_edges(best_c);
+        st[v].cluster = best_c;
+        st[v].cluster_sampled = true;  // now in a sampled cluster
+      }
+      pending[v].cluster = st[v].cluster;
+    }
+
+    auto announce = [&](std::size_t round, Vertex v,
+                        const std::vector<Inbound<Msg>>& inbox,
+                        Mailbox<Msg>& mb) {
+      if (round == 0) {
+        mb.broadcast(pending[v]);
+        return;
+      }
+      for (const auto& in : inbox) {
+        if (in.msg.kind != Msg::kDecision) continue;
+        st[v].nbr[in.from] = {in.msg.cluster, false};
+        for (Vertex other : in.msg.removed) {
+          if (other != v) continue;
+          const auto id = g.edge_id(v, in.from);
+          if (id) edge_removed(v, slot_of(v, *id)) = 1;
+        }
+      }
+    };
+    out.stats += run_rounds<Msg>(g, 2, announce, faults);
+  }
+
+  // --- Joining phase: refresh info, then each vertex keeps one lightest
+  // edge per adjacent (final) cluster. ---
+  auto info = [&](std::size_t, Vertex v, const std::vector<Inbound<Msg>>& inbox,
+                  Mailbox<Msg>& mb) {
+    for (const auto& in : inbox)
+      if (in.msg.kind == Msg::kInfo)
+        st[v].nbr[in.from] = {in.msg.cluster, false};
+    Msg m;
+    m.kind = Msg::kInfo;
+    m.cluster = st[v].cluster;
+    mb.broadcast(m);
+  };
+  out.stats += run_rounds<Msg>(g, 2, info, faults);
+
+  for (Vertex v = 0; v < n; ++v) {
+    if (!alive(v)) continue;
+    for (const auto& [c, tup] : lightest_per_cluster(v)) {
+      in_spanner[std::get<1>(tup)] = 1;
+      // Dropping the remaining edges to c needs no announcement: the
+      // protocol ends here and each endpoint keeps its own chosen edges.
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const auto it = st[v].nbr.find(nbrs[i].to);
+        if (it != st[v].nbr.end() && it->second.first == c)
+          edge_removed(v, i) = 1;
+      }
+      (void)c;
+    }
+  }
+
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (in_spanner[id]) out.edges.push_back(id);
+  return out;
+}
+
+DistFtSpannerResult distributed_ft_spanner(
+    const Graph& g, std::size_t k, std::size_t r, std::uint64_t seed,
+    const ftspan::ConversionOptions& options) {
+  const std::size_t n = g.num_vertices();
+  DistFtSpannerResult out;
+
+  double keep = (r >= 2) ? 1.0 / static_cast<double>(r) : 0.5;
+  keep = std::clamp(keep * options.keep_probability_scale, 1e-9, 1.0);
+  out.iterations = options.iterations.value_or(
+      ftspan::conversion_iterations(r, n, options.iteration_constant));
+
+  ftspan::Rng rng(seed);
+  std::vector<char> in_spanner(g.num_edges(), 0);
+  for (std::size_t it = 0; it < out.iterations; ++it) {
+    // Every vertex locally joins J with probability 1 - keep (no
+    // communication needed; one round could announce it, which we charge).
+    VertexSet removed(n);
+    for (Vertex v = 0; v < n; ++v)
+      if (!rng.bernoulli(keep)) removed.insert(v);
+    out.stats.rounds += 1;  // the J-announcement round
+
+    DistSpannerResult one = distributed_baswana_sen(g, k, rng(), &removed);
+    out.stats += one.stats;
+    for (EdgeId id : one.edges) in_spanner[id] = 1;
+  }
+
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (in_spanner[id]) out.edges.push_back(id);
+  return out;
+}
+
+}  // namespace ftspan::local

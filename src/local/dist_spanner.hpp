@@ -1,0 +1,48 @@
+// Distributed spanners in the LOCAL model.
+//
+// distributed_baswana_sen: a LOCAL implementation of the Baswana–Sen
+// (2k-1)-spanner. Each of the k-1 clustering phases floods the cluster
+// sampling bit through the (radius <= phase) cluster trees, exchanges
+// cluster info with neighbors, and lets every vertex decide locally; the
+// joining phase is one more exchange. O(k²) rounds total. This serves as
+// the base algorithm A for Theorem 2.3 (the paper's Corollary 2.4 uses the
+// Derbel–Gavoille–Peleg–Viennot deterministic construction; any LOCAL
+// k-spanner of bounded size works — see DESIGN.md for the substitution).
+//
+// distributed_ft_spanner: Theorem 2.3's distributed conversion — in each of
+// α = Θ(r³ log n) iterations every vertex locally joins the oversampled
+// fault set J with probability 1 - 1/r and the base algorithm runs on the
+// survivors; the spanner is the union over iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftspanner/conversion.hpp"
+#include "graph/graph.hpp"
+#include "local/runtime.hpp"
+
+namespace ftspan::local {
+
+struct DistSpannerResult {
+  std::vector<EdgeId> edges;
+  RunStats stats;
+};
+
+/// LOCAL Baswana–Sen (2k-1)-spanner on G \ faults. k >= 1.
+DistSpannerResult distributed_baswana_sen(const Graph& g, std::size_t k,
+                                          std::uint64_t seed,
+                                          const VertexSet* faults = nullptr);
+
+struct DistFtSpannerResult {
+  std::vector<EdgeId> edges;
+  RunStats stats;
+  std::size_t iterations = 0;
+};
+
+/// Theorem 2.3 instantiated with distributed Baswana–Sen (stretch 2k-1).
+DistFtSpannerResult distributed_ft_spanner(
+    const Graph& g, std::size_t k, std::size_t r, std::uint64_t seed,
+    const ftspan::ConversionOptions& options = {});
+
+}  // namespace ftspan::local

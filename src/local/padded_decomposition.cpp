@@ -1,0 +1,143 @@
+#include "local/padded_decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan::local {
+
+namespace {
+
+std::size_t radius_cap_for(std::size_t n, const PaddedDecompositionOptions& o) {
+  const double ln_n = std::log(static_cast<double>(std::max<std::size_t>(n, 2)));
+  return static_cast<std::size_t>(std::ceil(o.cap_factor * ln_n));
+}
+
+std::vector<std::size_t> draw_radii(std::size_t n, std::uint64_t seed,
+                                    const PaddedDecompositionOptions& o,
+                                    std::size_t cap) {
+  ftspan::Rng rng(seed);
+  std::vector<std::size_t> r(n);
+  for (std::size_t v = 0; v < n; ++v)
+    r[v] = std::min<std::size_t>(rng.geometric(o.geometric_p), cap);
+  return r;
+}
+
+}  // namespace
+
+std::vector<Vertex> PaddedDecomposition::centers() const {
+  std::vector<Vertex> cs(center);
+  std::sort(cs.begin(), cs.end());
+  cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  return cs;
+}
+
+PaddedDecomposition sample_padded_decomposition(
+    const Graph& g, std::uint64_t seed,
+    const PaddedDecompositionOptions& options) {
+  const std::size_t n = g.num_vertices();
+  PaddedDecomposition d;
+  d.radius_cap = radius_cap_for(n, options);
+  d.radius = draw_radii(n, seed, options, d.radius_cap);
+  d.center.assign(n, kInvalidVertex);
+
+  // Centers in increasing ID order; a vertex joins the first (= smallest-ID)
+  // center whose ball reaches it. BFS per center, stopping at its radius.
+  for (Vertex c = 0; c < n; ++c) {
+    std::queue<std::pair<Vertex, std::size_t>> q;  // (vertex, hops)
+    std::vector<char> seen(n, 0);
+    q.push({c, 0});
+    seen[c] = 1;
+    while (!q.empty()) {
+      const auto [v, hops] = q.front();
+      q.pop();
+      if (d.center[v] == kInvalidVertex) d.center[v] = c;
+      if (hops == d.radius[c]) continue;
+      for (const Arc& a : g.neighbors(v)) {
+        if (seen[a.to]) continue;
+        seen[a.to] = 1;
+        q.push({a.to, hops + 1});
+      }
+    }
+  }
+  return d;
+}
+
+PaddedDecomposition distributed_padded_decomposition(
+    const Graph& g, std::uint64_t seed,
+    const PaddedDecompositionOptions& options, RunStats* stats) {
+  const std::size_t n = g.num_vertices();
+  PaddedDecomposition d;
+  d.radius_cap = radius_cap_for(n, options);
+  d.radius = draw_radii(n, seed, options, d.radius_cap);
+  d.center.assign(n, kInvalidVertex);
+
+  // Message: (center id, remaining ttl). Each vertex remembers, per center
+  // it has heard from, the best remaining ttl, and forwards improvements.
+  // After radius_cap+1 rounds every vertex has heard exactly the centers
+  // whose balls reach it; it picks the smallest ID (itself always counts,
+  // since its own ball of radius r_v >= 0 contains it).
+  struct State {
+    std::vector<std::pair<Vertex, std::size_t>> known;  // (center, best ttl)
+  };
+  std::vector<State> state(n);
+
+  using Msg = std::pair<Vertex, std::size_t>;  // (center, remaining ttl)
+  auto fn = [&](std::size_t round, Vertex v,
+                const std::vector<Inbound<Msg>>& inbox, Mailbox<Msg>& out) {
+    auto learn = [&](Vertex center, std::size_t ttl) -> bool {
+      for (auto& [c, best] : state[v].known) {
+        if (c != center) continue;
+        if (ttl <= best) return false;
+        best = ttl;
+        return true;
+      }
+      state[v].known.emplace_back(center, ttl);
+      return true;
+    };
+
+    if (round == 0) {
+      learn(v, d.radius[v]);
+      if (d.radius[v] > 0) out.broadcast({v, d.radius[v] - 1});
+      return;
+    }
+    for (const auto& in : inbox) {
+      const auto [center, ttl] = in.msg;
+      if (learn(center, ttl) && ttl > 0) out.broadcast({center, ttl - 1});
+    }
+  };
+
+  const RunStats rs = run_rounds<Msg>(g, d.radius_cap + 1, fn);
+  if (stats != nullptr) *stats += rs;
+
+  for (Vertex v = 0; v < n; ++v) {
+    Vertex best = kInvalidVertex;
+    for (const auto& [c, ttl] : state[v].known) best = std::min(best, c);
+    d.center[v] = best;
+  }
+  return d;
+}
+
+bool is_padded(const Graph& g, const PaddedDecomposition& d, Vertex x) {
+  for (const Arc& a : g.neighbors(x))
+    if (d.center[a.to] != d.center[x]) return false;
+  return true;
+}
+
+std::size_t max_cluster_diameter(const Graph& g,
+                                 const PaddedDecomposition& d) {
+  std::size_t worst = 0;
+  for (Vertex c : d.centers()) {
+    std::vector<Vertex> members = d.cluster_of(c);
+    members.push_back(c);  // the center may not belong to its own cluster
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    worst = std::max(worst, ftspan::weak_diameter(g, members));
+  }
+  return worst;
+}
+
+}  // namespace ftspan::local

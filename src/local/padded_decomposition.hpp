@@ -1,0 +1,70 @@
+// Padded decompositions (Definition 3.6, Lemma 3.7).
+//
+// Linial–Saks / Bartal style: every vertex u draws a radius r_u from a
+// geometric distribution with constant parameter p (truncated at O(log n)),
+// and every vertex joins the cluster of the *smallest-ID* vertex whose ball
+// of radius r_u (hop distance) reaches it. Properties (Lemma 3.7):
+//   - every cluster C has weak diameter diam(C ∪ {center}) = O(log n) w.h.p.;
+//   - Pr[N(x) ⊆ P(x)] >= (1-p)^2 for every x (>= 1/2 for p <= 0.25 — see
+//     the capture argument: condition on the first (in ID order) center
+//     whose ball reaches B(x,1); by memorylessness it engulfs B(x,1) with
+//     probability (1-p)^2, and then it captures all of B(x,1));
+//   - the distributed version floods center IDs for O(log n) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/runtime.hpp"
+
+namespace ftspan::local {
+
+struct PaddedDecomposition {
+  /// Per vertex: the center of its cluster (clusters are center-named).
+  std::vector<Vertex> center;
+  /// The radius each vertex drew (diagnostics; radius of its *potential*
+  /// cluster, meaningful whether or not anyone joined it).
+  std::vector<std::size_t> radius;
+  /// Radius truncation cap used (the O(log n) bound on cluster radius).
+  std::size_t radius_cap = 0;
+
+  std::vector<Vertex> cluster_of(Vertex c) const {
+    std::vector<Vertex> out;
+    for (Vertex v = 0; v < center.size(); ++v)
+      if (center[v] == c) out.push_back(v);
+    return out;
+  }
+
+  /// Distinct non-empty cluster centers.
+  std::vector<Vertex> centers() const;
+};
+
+struct PaddedDecompositionOptions {
+  /// Geometric parameter p (success probability). Padding probability is
+  /// >= (1-p)^2; p = 0.2 gives >= 0.64.
+  double geometric_p = 0.2;
+  /// Radius cap = ceil(cap_factor * ln n); Pr[some radius exceeding it] is
+  /// n^{-Θ(cap_factor·p)}.
+  double cap_factor = 6.0;
+};
+
+/// Centralized sampler (same distribution as the protocol; O(Σ ball sizes)).
+PaddedDecomposition sample_padded_decomposition(
+    const Graph& g, std::uint64_t seed,
+    const PaddedDecompositionOptions& options = {});
+
+/// The Lemma 3.7 LOCAL protocol: radius draws, then radius-capped flooding
+/// of center IDs for O(log n) rounds. Produces the same assignment rule
+/// (smallest reaching ID); `stats` (optional) receives rounds/messages.
+PaddedDecomposition distributed_padded_decomposition(
+    const Graph& g, std::uint64_t seed,
+    const PaddedDecompositionOptions& options = {}, RunStats* stats = nullptr);
+
+/// Is x padded, i.e. N(x) ∪ {x} inside one cluster?
+bool is_padded(const Graph& g, const PaddedDecomposition& d, Vertex x);
+
+/// Max over clusters of diam(C ∪ {center}) in hops (through the whole G).
+std::size_t max_cluster_diameter(const Graph& g, const PaddedDecomposition& d);
+
+}  // namespace ftspan::local

@@ -1,0 +1,107 @@
+// A synchronous message-passing simulator for the LOCAL model (Peleg 2000).
+//
+// In each round every vertex reads the messages its neighbors sent in the
+// previous round, does arbitrary local computation, and sends one message
+// per incident edge. Message size is unbounded (the LOCAL model's defining
+// relaxation); what the model measures is *rounds*, because information can
+// travel only one hop per round — which this engine enforces by construction
+// (a node can only send to its graph neighbors).
+//
+// Protocols are callables invoked once per vertex per round; per-vertex
+// state lives in the protocol object. The engine records rounds and message
+// counts so experiments can report round complexity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan::local {
+
+struct RunStats {
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+
+  RunStats& operator+=(const RunStats& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    return *this;
+  }
+};
+
+/// A message in flight, tagged with its sender.
+template <class Msg>
+struct Inbound {
+  Vertex from;
+  Msg msg;
+};
+
+/// Per-node, per-round outbox. Sends are restricted to alive neighbors,
+/// enforcing the one-hop-per-round locality of the model.
+template <class Msg>
+class Mailbox {
+ public:
+  Mailbox(const Graph& g, const VertexSet* faults, Vertex self)
+      : g_(g), faults_(faults), self_(self) {}
+
+  /// Sends to a specific neighbor. Silently drops non-neighbor targets in
+  /// release builds is unacceptable — throws instead.
+  void send(Vertex to, Msg m) {
+    if (!g_.has_edge(self_, to))
+      throw std::logic_error("LOCAL model violation: send to non-neighbor");
+    if (faults_ != nullptr && faults_->contains(to)) return;
+    out_.emplace_back(to, std::move(m));
+  }
+
+  /// Sends a copy to every alive neighbor.
+  void broadcast(const Msg& m) {
+    for (const Arc& a : g_.neighbors(self_)) {
+      if (faults_ != nullptr && faults_->contains(a.to)) continue;
+      out_.emplace_back(a.to, m);
+    }
+  }
+
+  std::vector<std::pair<Vertex, Msg>>& outgoing() { return out_; }
+
+ private:
+  const Graph& g_;
+  const VertexSet* faults_;
+  Vertex self_;
+  std::vector<std::pair<Vertex, Msg>> out_;
+};
+
+/// Runs `rounds` synchronous rounds of `fn` over the alive vertices of g.
+/// fn signature: void(std::size_t round, Vertex v,
+///                    const std::vector<Inbound<Msg>>& inbox,
+///                    Mailbox<Msg>& out)
+template <class Msg, class RoundFn>
+RunStats run_rounds(const Graph& g, std::size_t rounds, RoundFn&& fn,
+                    const VertexSet* faults = nullptr) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::vector<Inbound<Msg>>> inbox(n), next(n);
+  RunStats stats;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    ++stats.rounds;
+    for (Vertex v = 0; v < n; ++v) {
+      if (faults != nullptr && faults->contains(v)) continue;
+      Mailbox<Msg> mail(g, faults, v);
+      fn(round, v, inbox[v], mail);
+      for (auto& [to, m] : mail.outgoing()) {
+        next[to].push_back({v, std::move(m)});
+        ++stats.messages;
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      inbox[v] = std::move(next[v]);
+      next[v].clear();
+    }
+  }
+  return stats;
+}
+
+}  // namespace ftspan::local

@@ -1,0 +1,58 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftspan {
+
+int LpModel::add_variable(double objective_coeff, double upper,
+                          std::string name) {
+  if (upper < 0)
+    throw std::invalid_argument("LpModel: upper bound must be >= 0");
+  objective_.push_back(objective_coeff);
+  upper_.push_back(upper);
+  names_.push_back(std::move(name));
+  return static_cast<int>(objective_.size()) - 1;
+}
+
+int LpModel::add_constraint(std::vector<LinearTerm> terms, Sense sense,
+                            double rhs) {
+  for (const LinearTerm& t : terms)
+    if (t.var < 0 || t.var >= static_cast<int>(num_variables()))
+      throw std::out_of_range("LpModel: constraint references unknown variable");
+  rows_.push_back({std::move(terms), sense, rhs});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+double LpModel::objective_value(const std::vector<double>& x) const {
+  double z = 0;
+  for (std::size_t i = 0; i < objective_.size(); ++i) z += objective_[i] * x[i];
+  return z;
+}
+
+double LpModel::max_violation(const std::vector<double>& x) const {
+  double worst = 0;
+  for (std::size_t i = 0; i < num_variables(); ++i) {
+    worst = std::max(worst, -x[i]);            // x >= 0
+    worst = std::max(worst, x[i] - upper_[i]);  // x <= u
+  }
+  for (const LpConstraint& row : rows_) {
+    double lhs = 0;
+    for (const LinearTerm& t : row.terms) lhs += t.coeff * x[t.var];
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        worst = std::max(worst, lhs - row.rhs);
+        break;
+      case Sense::kGreaterEqual:
+        worst = std::max(worst, row.rhs - lhs);
+        break;
+      case Sense::kEqual:
+        worst = std::max(worst, std::abs(lhs - row.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,63 @@
+// A small linear-programming model: min c'x subject to row constraints and
+// variable bounds. Consumed by the simplex solver (simplex.hpp) and extended
+// lazily by the cutting-plane driver (cutting_plane.hpp).
+//
+// Only what the paper needs: minimization, {<=, >=, =} rows, and variable
+// bounds of the form 0 <= x <= u (u may be +infinity).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"  // for kInfiniteWeight reuse as +inf
+
+namespace ftspan {
+
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+struct LinearTerm {
+  int var = 0;
+  double coeff = 0.0;
+};
+
+struct LpConstraint {
+  std::vector<LinearTerm> terms;
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+class LpModel {
+ public:
+  /// Adds a variable with bounds [0, upper] and the given objective
+  /// coefficient; returns its index. upper may be infinity.
+  int add_variable(double objective_coeff,
+                   double upper = kInfiniteWeight,
+                   std::string name = {});
+
+  /// Adds a row; duplicate variables within one row are allowed (they sum).
+  /// Returns the row index.
+  int add_constraint(std::vector<LinearTerm> terms, Sense sense, double rhs);
+
+  std::size_t num_variables() const { return objective_.size(); }
+  std::size_t num_constraints() const { return rows_.size(); }
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<double>& upper_bounds() const { return upper_; }
+  const std::vector<LpConstraint>& rows() const { return rows_; }
+  const std::string& variable_name(int v) const { return names_[v]; }
+
+  /// Objective value of an assignment (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint violation (and bound violation) of an assignment.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<LpConstraint> rows_;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,322 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+namespace {
+
+/// Dense two-phase tableau simplex.
+///
+/// Layout: columns 0..n_struct-1 are the model variables, then one slack or
+/// surplus column per row that needs one, then one artificial column per row
+/// that needs one. `tab_` holds m rows plus is accompanied by an objective
+/// (reduced-cost) row `obj_` and value `obj_val_`.
+class Tableau {
+ public:
+  Tableau(const LpModel& model, const SimplexOptions& opt) : opt_(opt) {
+    build(model);
+  }
+
+  LpSolution run(const LpModel& model) {
+    LpSolution sol;
+
+    // ---- Phase 1: minimize the sum of artificials. ----
+    if (num_artificial_ > 0) {
+      set_phase1_objective();
+      const LpStatus st = iterate(sol.iterations);
+      if (st == LpStatus::kIterationLimit) {
+        sol.status = st;
+        return sol;
+      }
+      if (obj_val_ > 1e-6) {
+        sol.status = LpStatus::kInfeasible;
+        return sol;
+      }
+      drive_out_artificials();
+      artificial_banned_ = true;
+    }
+
+    // ---- Phase 2: the real objective. ----
+    set_phase2_objective(model);
+    const LpStatus st = iterate(sol.iterations);
+    sol.status = st;
+    if (st != LpStatus::kOptimal) return sol;
+
+    sol.x.assign(n_struct_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r)
+      if (basis_[r] < n_struct_) sol.x[basis_[r]] = rhs_[r];
+    sol.objective = model.objective_value(sol.x);
+    return sol;
+  }
+
+ private:
+  void build(const LpModel& model) {
+    n_struct_ = model.num_variables();
+
+    // Upper bounds become explicit <= rows.
+    struct Row {
+      std::vector<double> a;
+      double b;
+      Sense sense;
+    };
+    std::vector<Row> rows;
+    rows.reserve(model.num_constraints() + n_struct_);
+    for (const LpConstraint& c : model.rows()) {
+      Row r{std::vector<double>(n_struct_, 0.0), c.rhs, c.sense};
+      for (const LinearTerm& t : c.terms) r.a[t.var] += t.coeff;
+      rows.push_back(std::move(r));
+    }
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      const double u = model.upper_bounds()[v];
+      if (u < kInfiniteWeight) {
+        Row r{std::vector<double>(n_struct_, 0.0), u, Sense::kLessEqual};
+        r.a[v] = 1.0;
+        rows.push_back(std::move(r));
+      }
+    }
+
+    // Normalize to b >= 0.
+    for (Row& r : rows) {
+      if (r.b < 0) {
+        for (double& a : r.a) a = -a;
+        r.b = -r.b;
+        if (r.sense == Sense::kLessEqual)
+          r.sense = Sense::kGreaterEqual;
+        else if (r.sense == Sense::kGreaterEqual)
+          r.sense = Sense::kLessEqual;
+      }
+    }
+
+    m_ = rows.size();
+    std::size_t num_slack = 0;
+    for (const Row& r : rows)
+      if (r.sense != Sense::kEqual) ++num_slack;
+    num_artificial_ = 0;
+    for (const Row& r : rows)
+      if (r.sense != Sense::kLessEqual) ++num_artificial_;
+
+    n_total_ = n_struct_ + num_slack + num_artificial_;
+    first_artificial_ = n_struct_ + num_slack;
+    tab_.assign(m_, std::vector<double>(n_total_, 0.0));
+    rhs_.assign(m_, 0.0);
+    basis_.assign(m_, 0);
+
+    std::size_t slack_col = n_struct_;
+    std::size_t art_col = first_artificial_;
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (std::size_t v = 0; v < n_struct_; ++v) tab_[r][v] = rows[r].a[v];
+      // Deterministic tiny perturbation: breaks the massive rhs ties of
+      // symmetric instances (e.g. complete graphs), which otherwise cause
+      // long degenerate stalls. The induced solution error is far below the
+      // library's 1e-6 tolerances.
+      rhs_[r] = rows[r].b + 1e-11 * static_cast<double>(r + 1);
+      switch (rows[r].sense) {
+        case Sense::kLessEqual:
+          tab_[r][slack_col] = 1.0;
+          basis_[r] = slack_col++;
+          break;
+        case Sense::kGreaterEqual:
+          tab_[r][slack_col] = -1.0;
+          ++slack_col;
+          tab_[r][art_col] = 1.0;
+          basis_[r] = art_col++;
+          break;
+        case Sense::kEqual:
+          tab_[r][art_col] = 1.0;
+          basis_[r] = art_col++;
+          break;
+      }
+    }
+    obj_.assign(n_total_, 0.0);
+    obj_val_ = 0.0;
+  }
+
+  /// Phase-1 objective: min sum of artificials. The reduced-cost row is
+  /// -(sum of rows whose basic variable is artificial).
+  void set_phase1_objective() {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    obj_val_ = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < first_artificial_) continue;
+      for (std::size_t c = 0; c < n_total_; ++c) obj_[c] -= tab_[r][c];
+      obj_val_ += rhs_[r];
+    }
+    // Artificial columns themselves must carry reduced cost 0 in this row
+    // (cost 1 each); the subtraction above already handles basic ones, and
+    // non-basic artificials keep cost +1:
+    for (std::size_t c = first_artificial_; c < n_total_; ++c) obj_[c] += 1.0;
+  }
+
+  /// Phase-2 objective from the model costs, priced out over the basis.
+  void set_phase2_objective(const LpModel& model) {
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    obj_val_ = 0.0;
+    for (std::size_t v = 0; v < n_struct_; ++v) obj_[v] = model.objective()[v];
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t b = basis_[r];
+      const double cb = b < n_struct_ ? model.objective()[b] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t c = 0; c < n_total_; ++c) obj_[c] -= cb * tab_[r][c];
+      obj_val_ += cb * rhs_[r];
+    }
+  }
+
+  /// Pivot on (row, col): make col basic in row.
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = tab_[row][col];
+    for (std::size_t c = 0; c < n_total_; ++c) tab_[row][c] /= p;
+    rhs_[row] /= p;
+    tab_[row][col] = 1.0;  // cancel roundoff
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == row) continue;
+      const double f = tab_[r][col];
+      if (std::abs(f) < 1e-13) continue;
+      for (std::size_t c = 0; c < n_total_; ++c) tab_[r][c] -= f * tab_[row][c];
+      tab_[r][col] = 0.0;
+      rhs_[r] -= f * rhs_[row];
+      if (std::abs(rhs_[r]) < 1e-12) rhs_[r] = 0.0;
+    }
+    const double f = obj_[col];
+    if (std::abs(f) > 1e-13) {
+      for (std::size_t c = 0; c < n_total_; ++c) obj_[c] -= f * tab_[row][c];
+      obj_[col] = 0.0;
+      // Invariant: z(x) = Σ_c obj_[c]·x_c + obj_val_ for every x satisfying
+      // the tableau rows; substituting the pivot row shifts the constant by
+      // f · rhs (f < 0 on a minimizing pivot, so the objective decreases).
+      obj_val_ += f * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+  /// Runs pivots until optimal / unbounded / iteration limit.
+  LpStatus iterate(std::size_t& iteration_counter) {
+    const double tol = opt_.tolerance;
+    std::size_t stall = 0;
+    double last_obj = obj_val_;
+    bool bland = false;
+
+    while (true) {
+      if (iteration_counter >= opt_.max_iterations)
+        return LpStatus::kIterationLimit;
+
+      // Entering column. Dantzig pricing stalls badly on highly symmetric
+      // degenerate instances (e.g. complete graphs), so among the columns
+      // within a factor of the most negative reduced cost we pick one at
+      // random (seeded — runs stay deterministic). Bland mode (on stall)
+      // takes the smallest negative-cost index, which guarantees progress.
+      std::size_t enter = n_total_;
+      if (!bland) {
+        double best = -tol;
+        for (std::size_t c = 0; c < n_total_; ++c) {
+          if (artificial_banned_ && c >= first_artificial_) continue;
+          if (obj_[c] < best) {
+            best = obj_[c];
+            enter = c;
+          }
+        }
+        if (enter != n_total_) {
+          const double threshold = 0.9 * best;  // best < 0
+          std::size_t seen = 0;
+          for (std::size_t c = 0; c < n_total_; ++c) {
+            if (artificial_banned_ && c >= first_artificial_) continue;
+            if (obj_[c] <= threshold) {
+              ++seen;
+              if (rng_.uniform_index(seen) == 0) enter = c;  // reservoir pick
+            }
+          }
+        }
+      } else {
+        for (std::size_t c = 0; c < n_total_; ++c) {
+          if (artificial_banned_ && c >= first_artificial_) continue;
+          if (obj_[c] < -tol) {
+            enter = c;
+            break;
+          }
+        }
+      }
+      if (enter == n_total_) return LpStatus::kOptimal;
+
+      // Leaving row: min ratio rhs/tab over positive entries. Ties broken
+      // randomly under Dantzig pricing, by basic-variable index under Bland.
+      std::size_t leave = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      std::size_t tied = 0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        const double a = tab_[r][enter];
+        if (a <= tol) continue;
+        const double ratio = rhs_[r] / a;
+        if (ratio < best_ratio - 1e-12) {
+          best_ratio = ratio;
+          leave = r;
+          tied = 1;
+        } else if (ratio < best_ratio + 1e-12 && leave != m_) {
+          if (bland) {
+            if (basis_[r] < basis_[leave]) leave = r;
+          } else {
+            ++tied;
+            if (rng_.uniform_index(tied) == 0) leave = r;
+          }
+        }
+      }
+      if (leave == m_) return LpStatus::kUnbounded;
+
+      pivot(leave, enter);
+      ++iteration_counter;
+
+      // Stall detection -> Bland's rule (guarantees termination); back to
+      // Dantzig pricing as soon as the objective moves again.
+      if (obj_val_ > last_obj - 1e-12) {
+        if (++stall > m_ + 64) bland = true;
+      } else {
+        stall = 0;
+        bland = false;
+        last_obj = obj_val_;
+      }
+    }
+  }
+
+  /// After phase 1, pivot artificials that remain basic (at value 0) out of
+  /// the basis where possible; rows that cannot be pivoted are redundant and
+  /// harmless (their artificial stays basic at 0 and is banned from
+  /// re-entering).
+  void drive_out_artificials() {
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < first_artificial_) continue;
+      for (std::size_t c = 0; c < first_artificial_; ++c) {
+        if (std::abs(tab_[r][c]) > 1e-7) {
+          pivot(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  SimplexOptions opt_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t m_ = 0;
+  std::size_t num_artificial_ = 0;
+  std::size_t first_artificial_ = 0;
+  bool artificial_banned_ = false;
+
+  std::vector<std::vector<double>> tab_;
+  std::vector<double> rhs_;
+  std::vector<double> obj_;
+  double obj_val_ = 0.0;
+  std::vector<std::size_t> basis_;
+  Rng rng_{0x5eedf00dULL};  // fixed seed: deterministic tie-breaking
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& options) {
+  Tableau t(model, options);
+  return t.run(model);
+}
+
+}  // namespace ftspan

@@ -1,0 +1,36 @@
+// Two-phase primal simplex on a dense tableau.
+//
+// Standing in for the paper's use of the Ellipsoid method (Lemma 3.2): the
+// paper only needs *a* polynomial-time LP solver behind a separation oracle;
+// in practice, cutting planes around simplex is what implementations use.
+//
+// Variable upper bounds are handled by explicit rows (the LP (4) instances
+// only bound the |E| capacity variables, so this costs |E| extra rows).
+// Anti-cycling: Dantzig pricing normally, switching to Bland's rule after a
+// stall is detected.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace ftspan {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;        ///< primal values, one per model variable
+  std::size_t iterations = 0;   ///< total simplex pivots (both phases)
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200'000;
+  double tolerance = 1e-9;
+};
+
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace ftspan

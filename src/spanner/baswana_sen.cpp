@@ -1,0 +1,154 @@
+#include "spanner/baswana_sen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ftspan {
+
+namespace {
+
+constexpr std::uint32_t kUnclustered = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
+                                        std::uint64_t seed,
+                                        const VertexSet* faults) {
+  if (k < 1) throw std::invalid_argument("baswana_sen_spanner: k must be >= 1");
+  const std::size_t n = g.num_vertices();
+  Rng rng(seed);
+
+  auto alive = [&](Vertex v) { return faults == nullptr || !faults->contains(v); };
+
+  std::vector<EdgeId> spanner;
+  if (k == 1) {
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+      const Edge& e = g.edge(id);
+      if (alive(e.u) && alive(e.v)) spanner.push_back(id);
+    }
+    return spanner;
+  }
+
+  // Work list of still-unsettled edges (alive endpoints only).
+  std::vector<char> removed(g.num_edges(), 1);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    if (alive(e.u) && alive(e.v)) removed[id] = 0;
+  }
+
+  // cluster[v]: id of v's cluster in the current clustering (kUnclustered if
+  // v has left the clustering). Initially every alive vertex is a singleton
+  // cluster whose id is the vertex itself.
+  std::vector<std::uint32_t> cluster(n, kUnclustered);
+  std::size_t alive_count = 0;
+  for (Vertex v = 0; v < n; ++v)
+    if (alive(v)) {
+      cluster[v] = v;
+      ++alive_count;
+    }
+  if (alive_count == 0) return spanner;
+
+  const double p = std::pow(static_cast<double>(std::max<std::size_t>(alive_count, 2)),
+                            -1.0 / static_cast<double>(k));
+
+  std::vector<char> sampled(n, 0);
+  // Per-vertex scratch: lightest surviving edge to each adjacent cluster.
+  std::unordered_map<std::uint32_t, EdgeId> lightest;
+
+  auto lightest_edges_to_clusters =
+      [&](Vertex v, const std::vector<std::uint32_t>& clus) {
+        lightest.clear();
+        for (const Arc& a : g.neighbors(v)) {
+          if (removed[a.edge]) continue;
+          const std::uint32_t c = clus[a.to];
+          if (c == kUnclustered) continue;
+          const auto it = lightest.find(c);
+          if (it == lightest.end() || g.edge(a.edge).w < g.edge(it->second).w)
+            lightest[c] = a.edge;
+        }
+      };
+
+  auto drop_edges_to_cluster = [&](Vertex v, std::uint32_t c,
+                                   const std::vector<std::uint32_t>& clus) {
+    for (const Arc& a : g.neighbors(v))
+      if (!removed[a.edge] && clus[a.to] == c) removed[a.edge] = 1;
+  };
+
+  // Phases 1 .. k-1: refine the clustering.
+  for (std::size_t phase = 1; phase < k; ++phase) {
+    // 1. Sample clusters. The final phase samples nothing (A_k = empty), so
+    //    every vertex falls into the "no sampled neighbor" branch and we can
+    //    simply skip sampling; phase k is handled after the loop instead.
+    std::fill(sampled.begin(), sampled.end(), 0);
+    for (Vertex c = 0; c < n; ++c) sampled[c] = rng.bernoulli(p) ? 1 : 0;
+
+    const std::vector<std::uint32_t> prev = cluster;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t cv = prev[v];
+      if (cv == kUnclustered) continue;  // already left the clustering
+      if (sampled[cv]) continue;         // cluster survives; v stays in it
+
+      lightest_edges_to_clusters(v, prev);
+
+      // Lightest edge into any *sampled* adjacent cluster.
+      EdgeId best = kInvalidEdge;
+      std::uint32_t best_cluster = kUnclustered;
+      for (const auto& [c, id] : lightest) {
+        if (!sampled[c]) continue;
+        if (best == kInvalidEdge || g.edge(id).w < g.edge(best).w) {
+          best = id;
+          best_cluster = c;
+        }
+      }
+
+      if (best == kInvalidEdge) {
+        // No sampled neighbor: keep one lightest edge per adjacent cluster,
+        // discard the rest, and leave the clustering.
+        for (const auto& [c, id] : lightest) {
+          spanner.push_back(id);
+          drop_edges_to_cluster(v, c, prev);
+        }
+        cluster[v] = kUnclustered;
+      } else {
+        // Join the sampled cluster through `best`; also keep one edge to
+        // every adjacent cluster strictly lighter than `best`.
+        spanner.push_back(best);
+        const Weight bw = g.edge(best).w;
+        for (const auto& [c, id] : lightest) {
+          if (c == best_cluster) continue;
+          if (g.edge(id).w < bw) {
+            spanner.push_back(id);
+            drop_edges_to_cluster(v, c, prev);
+          }
+        }
+        drop_edges_to_cluster(v, best_cluster, prev);
+        cluster[v] = best_cluster;
+      }
+    }
+  }
+
+  // Phase k (vertex-cluster joining): every vertex keeps one lightest
+  // surviving edge to each adjacent cluster of the final clustering.
+  for (Vertex v = 0; v < n; ++v) {
+    if (!alive(v)) continue;
+    lightest_edges_to_clusters(v, cluster);
+    for (const auto& [c, id] : lightest) {
+      spanner.push_back(id);
+      drop_edges_to_cluster(v, c, cluster);
+    }
+  }
+
+  std::sort(spanner.begin(), spanner.end());
+  spanner.erase(std::unique(spanner.begin(), spanner.end()), spanner.end());
+  return spanner;
+}
+
+Graph baswana_sen_spanner_graph(const Graph& g, std::size_t k,
+                                std::uint64_t seed, const VertexSet* faults) {
+  return g.edge_subgraph(baswana_sen_spanner(g, k, seed, faults));
+}
+
+}  // namespace ftspan

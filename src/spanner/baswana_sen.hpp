@@ -1,0 +1,28 @@
+// The randomized (2k-1)-spanner of Baswana and Sen (2007).
+//
+// k-1 clustering phases (each cluster survives with probability n^{-1/k})
+// followed by a vertex-to-cluster joining phase. Expected size O(k n^{1+1/k});
+// works for weighted graphs. This is the library's fast spanner baseline and
+// the base algorithm distributed in src/local/dist_spanner (its phases are
+// naturally local, which is what Theorem 2.3 / Corollary 2.4 need).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+/// Returns edge ids (into g) of a (2k-1)-spanner of G \ faults.
+/// Requires k >= 1. k = 1 returns all surviving edges.
+std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
+                                        std::uint64_t seed,
+                                        const VertexSet* faults = nullptr);
+
+Graph baswana_sen_spanner_graph(const Graph& g, std::size_t k,
+                                std::uint64_t seed,
+                                const VertexSet* faults = nullptr);
+
+}  // namespace ftspan

@@ -1,0 +1,146 @@
+#include "spanner/distance_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+namespace {
+
+struct QueueItem {
+  Weight dist;
+  Vertex v;
+  bool operator>(const QueueItem& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+}  // namespace
+
+DistanceOracle::DistanceOracle(const Graph& g, std::size_t k,
+                               std::uint64_t seed, const VertexSet* faults)
+    : k_(k), n_(g.num_vertices()) {
+  if (k < 1) throw std::invalid_argument("DistanceOracle: k must be >= 1");
+  Rng rng(seed);
+
+  auto alive = [&](Vertex v) { return faults == nullptr || !faults->contains(v); };
+
+  // Levels A_0 ⊇ A_1 ⊇ ... ⊇ A_{k-1}; A_k = ∅.
+  std::vector<std::vector<Vertex>> levels(k_);
+  for (Vertex v = 0; v < n_; ++v)
+    if (alive(v)) levels[0].push_back(v);
+  const double p = levels[0].empty()
+                       ? 0.5
+                       : std::pow(static_cast<double>(
+                                      std::max<std::size_t>(levels[0].size(), 2)),
+                                  -1.0 / static_cast<double>(k_));
+  for (std::size_t i = 1; i < k_; ++i)
+    for (Vertex v : levels[i - 1])
+      if (rng.bernoulli(p)) levels[i].push_back(v);
+
+  witness_.assign(k_ + 1, std::vector<Vertex>(n_, kInvalidVertex));
+  witness_dist_.assign(k_ + 1, std::vector<Weight>(n_, kInfiniteWeight));
+  bunch_.assign(n_, {});
+
+  // Multi-source Dijkstra per level for witnesses p_i(v) = nearest of A_i.
+  for (std::size_t i = 0; i < k_; ++i) {
+    MinQueue q;
+    for (Vertex s : levels[i]) {
+      witness_dist_[i][s] = 0;
+      witness_[i][s] = s;
+      q.push({0, s});
+    }
+    while (!q.empty()) {
+      const auto [d, v] = q.top();
+      q.pop();
+      if (d > witness_dist_[i][v]) continue;
+      for (const Arc& a : g.neighbors(v)) {
+        if (!alive(a.to)) continue;
+        const Weight nd = d + a.w;
+        if (nd < witness_dist_[i][a.to]) {
+          witness_dist_[i][a.to] = nd;
+          witness_[i][a.to] = witness_[i][v];
+          q.push({nd, a.to});
+        }
+      }
+    }
+  }
+  // Level k: empty set, distance infinity (already initialized).
+
+  // Clusters: for each center w in A_i \ A_{i+1}, grow
+  // C(w) = { v : d(w,v) < d(v, A_{i+1}) }; record w into the bunch of every
+  // member (bunches and clusters are duals: w ∈ B(v) iff v ∈ C(w)).
+  std::vector<char> in_next(n_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::fill(in_next.begin(), in_next.end(), 0);
+    if (i + 1 < k_)
+      for (Vertex v : levels[i + 1]) in_next[v] = 1;
+
+    for (Vertex w : levels[i]) {
+      if (in_next[w]) continue;
+      std::vector<Weight> dist(n_, kInfiniteWeight);
+      MinQueue q;
+      dist[w] = 0;
+      q.push({0, w});
+      while (!q.empty()) {
+        const auto [d, v] = q.top();
+        q.pop();
+        if (d > dist[v]) continue;
+        bunch_[v][w] = d;
+        for (const Arc& a : g.neighbors(v)) {
+          if (!alive(a.to)) continue;
+          const Weight nd = d + a.w;
+          if (nd >= witness_dist_[i + 1][a.to]) continue;  // strict: < d(v,A_{i+1})
+          if (nd < dist[a.to]) {
+            dist[a.to] = nd;
+            q.push({nd, a.to});
+          }
+        }
+      }
+    }
+  }
+}
+
+Weight DistanceOracle::query(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_) return kInfiniteWeight;
+  if (u == v) return 0;
+  // The TZ walk is asymmetric in (u, v); running it from both sides and
+  // taking the min keeps the stretch bound and makes the API symmetric.
+  return std::min(walk(u, v), walk(v, u));
+}
+
+Weight DistanceOracle::walk(Vertex u, Vertex v) const {
+  // The classic TZ walk: w = u at level 0; while w not in B(v), move one
+  // level up and swap the roles of u and v.
+  Vertex w = u;
+  for (std::size_t i = 0; i < k_; ++i) {
+    if (i > 0) {
+      std::swap(u, v);
+      w = witness_[i][u];
+      if (w == kInvalidVertex) return kInfiniteWeight;
+    }
+    const auto it = bunch_[v].find(w);
+    if (it != bunch_[v].end())
+      return witness_dist_[i][u] + it->second;
+  }
+  return kInfiniteWeight;
+}
+
+std::size_t DistanceOracle::size() const {
+  std::size_t s = 0;
+  for (const auto& b : bunch_) s += b.size();
+  return s;
+}
+
+std::vector<std::pair<Vertex, Weight>> DistanceOracle::bunch(Vertex v) const {
+  std::vector<std::pair<Vertex, Weight>> out(bunch_[v].begin(), bunch_[v].end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,65 @@
+// Thorup–Zwick approximate distance oracle (JACM 2005).
+//
+// The spanner construction in thorup_zwick.hpp is the edge-set shadow of
+// this structure; the oracle itself answers approximate distance queries in
+// O(k) time with stretch 2k-1 from O(k n^{1+1/k}) expected space. It is the
+// natural "reader's companion" to the paper's Section 2 (CLPR09, the prior
+// art being improved, is built directly on it), and the library exposes it
+// so downstream users get queryable distances, not just subgraphs.
+//
+// Structure: sampled levels A_0 ⊇ ... ⊇ A_{k-1}; for each vertex v and
+// level i, the witness p_i(v) (nearest vertex of A_i) and the bunch
+// B(v) = ∪_i { w ∈ A_i \ A_{i+1} : d(w,v) < d(v, A_{i+1}) } with exact
+// distances d(w,v). Query walks the witness levels, alternating endpoints.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+class DistanceOracle {
+ public:
+  /// Preprocesses g (positive edge lengths) with parameter k >= 1.
+  /// Faults, if given, exclude vertices entirely (queries about them return
+  /// infinity).
+  DistanceOracle(const Graph& g, std::size_t k, std::uint64_t seed,
+                 const VertexSet* faults = nullptr);
+
+  /// Approximate distance with stretch at most 2k-1 (infinity if u, v are
+  /// disconnected or excluded).
+  Weight query(Vertex u, Vertex v) const;
+
+  std::size_t k() const { return k_; }
+
+  /// Total number of (vertex, bunch-entry) pairs — the oracle's size.
+  std::size_t size() const;
+
+  /// The bunch of v (sorted by vertex id), for inspection/tests.
+  std::vector<std::pair<Vertex, Weight>> bunch(Vertex v) const;
+
+  /// d(v, A_i) and p_i(v) for inspection/tests.
+  Weight witness_distance(Vertex v, std::size_t level) const {
+    return witness_dist_[level][v];
+  }
+  Vertex witness(Vertex v, std::size_t level) const {
+    return witness_[level][v];
+  }
+
+ private:
+  /// One directed TZ witness walk (asymmetric in u, v).
+  Weight walk(Vertex u, Vertex v) const;
+
+  std::size_t k_;
+  std::size_t n_;
+  // Per level: nearest sampled vertex and its distance.
+  std::vector<std::vector<Vertex>> witness_;
+  std::vector<std::vector<Weight>> witness_dist_;
+  // Bunches: per vertex, exact distances to bunch members.
+  std::vector<std::unordered_map<Vertex, Weight>> bunch_;
+};
+
+}  // namespace ftspan

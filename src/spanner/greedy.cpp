@@ -1,0 +1,47 @@
+#include "spanner/greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/shortest_paths.hpp"
+
+namespace ftspan {
+
+std::vector<EdgeId> greedy_spanner(const Graph& g, double k,
+                                   const VertexSet* faults) {
+  if (k < 1.0) throw std::invalid_argument("greedy_spanner: k must be >= 1");
+
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
+    return g.edge(a).w < g.edge(b).w;
+  });
+
+  Graph h(g.num_vertices());
+  std::vector<EdgeId> kept;
+  for (EdgeId id : order) {
+    const Edge& e = g.edge(id);
+    if (faults != nullptr && (faults->contains(e.u) || faults->contains(e.v)))
+      continue;
+    // Distances above k * w(e) are irrelevant, so bound the search. A tiny
+    // slack keeps floating-point ties ("exactly k*w") counted as reachable.
+    const Weight bound = k * e.w * (1 + 1e-12);
+    const Weight d = pair_distance(h, e.u, e.v, faults, bound);
+    if (d > k * e.w) {
+      h.add_edge(e.u, e.v, e.w);
+      kept.push_back(id);
+    }
+  }
+  return kept;
+}
+
+Graph greedy_spanner_graph(const Graph& g, double k, const VertexSet* faults) {
+  return g.edge_subgraph(greedy_spanner(g, k, faults));
+}
+
+double greedy_size_bound(std::size_t n, double k) {
+  return std::pow(static_cast<double>(n), 1.0 + 2.0 / (k + 1.0));
+}
+
+}  // namespace ftspan

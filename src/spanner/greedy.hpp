@@ -1,0 +1,28 @@
+// The greedy k-spanner of Althöfer, Das, Dobkin, Joseph, and Soares (1993).
+//
+// Process edges by non-decreasing length; keep an edge iff the spanner built
+// so far does not already connect its endpoints within k times its length.
+// The result is a k-spanner with girth > k + 1, hence size O(n^{1 + 2/(k+1)})
+// for odd k — the base construction behind Corollary 2.2 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Returns the ids (into g) of the greedy k-spanner's edges, computed on
+/// G \ faults (edges with a failed endpoint are skipped). Requires k >= 1.
+std::vector<EdgeId> greedy_spanner(const Graph& g, double k,
+                                   const VertexSet* faults = nullptr);
+
+/// Convenience: the greedy spanner as a Graph (same vertex ids as g).
+Graph greedy_spanner_graph(const Graph& g, double k,
+                           const VertexSet* faults = nullptr);
+
+/// The Althöfer et al. size bound O(n^{1 + 2/(k+1)}) for odd k; used by the
+/// experiment harness to normalize measured sizes.
+double greedy_size_bound(std::size_t n, double k);
+
+}  // namespace ftspan

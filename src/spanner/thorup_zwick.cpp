@@ -1,0 +1,137 @@
+#include "spanner/thorup_zwick.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+namespace {
+
+struct QueueItem {
+  Weight dist;
+  Vertex v;
+  bool operator>(const QueueItem& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+/// Multi-source Dijkstra: dist[v] = d(v, sources) on G \ faults.
+std::vector<Weight> multi_source_distance(const Graph& g,
+                                          const std::vector<Vertex>& sources,
+                                          const VertexSet* faults) {
+  std::vector<Weight> dist(g.num_vertices(), kInfiniteWeight);
+  MinQueue q;
+  for (Vertex s : sources) {
+    if (faults != nullptr && faults->contains(s)) continue;
+    dist[s] = 0;
+    q.push({0, s});
+  }
+  while (!q.empty()) {
+    const auto [d, v] = q.top();
+    q.pop();
+    if (d > dist[v]) continue;
+    for (const Arc& a : g.neighbors(v)) {
+      if (faults != nullptr && faults->contains(a.to)) continue;
+      const Weight nd = d + a.w;
+      if (nd < dist[a.to]) {
+        dist[a.to] = nd;
+        q.push({nd, a.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<EdgeId> thorup_zwick_spanner(const Graph& g, std::size_t k,
+                                         std::uint64_t seed,
+                                         const VertexSet* faults) {
+  if (k < 1)
+    throw std::invalid_argument("thorup_zwick_spanner: k must be >= 1");
+  const std::size_t n = g.num_vertices();
+  Rng rng(seed);
+
+  auto alive = [&](Vertex v) { return faults == nullptr || !faults->contains(v); };
+
+  std::vector<EdgeId> spanner;
+  if (k == 1) {
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+      const Edge& e = g.edge(id);
+      if (alive(e.u) && alive(e.v)) spanner.push_back(id);
+    }
+    return spanner;
+  }
+
+  std::vector<Vertex> level;  // A_i as a vertex list
+  for (Vertex v = 0; v < n; ++v)
+    if (alive(v)) level.push_back(v);
+  if (level.empty()) return spanner;
+
+  const double p = std::pow(static_cast<double>(std::max<std::size_t>(level.size(), 2)),
+                            -1.0 / static_cast<double>(k));
+
+  std::vector<char> keep_edge(g.num_edges(), 0);
+
+  for (std::size_t i = 0; i < k && !level.empty(); ++i) {
+    // Sample A_{i+1} (empty at the last level).
+    std::vector<Vertex> next;
+    if (i + 1 < k)
+      for (Vertex v : level)
+        if (rng.bernoulli(p)) next.push_back(v);
+
+    // d(v, A_{i+1}); infinity when A_{i+1} is empty.
+    const std::vector<Weight> next_dist =
+        next.empty() ? std::vector<Weight>(n, kInfiniteWeight)
+                     : multi_source_distance(g, next, faults);
+
+    // Centers of level i are A_i \ A_{i+1}.
+    std::vector<char> in_next(n, 0);
+    for (Vertex v : next) in_next[v] = 1;
+
+    for (Vertex w : level) {
+      if (in_next[w]) continue;
+      // Truncated Dijkstra growing C(w) = { v : d(w,v) < d(v, A_{i+1}) };
+      // keep the tree edges.
+      std::vector<Weight> dist(n, kInfiniteWeight);
+      std::vector<EdgeId> via(n, kInvalidEdge);
+      MinQueue q;
+      dist[w] = 0;
+      q.push({0, w});
+      while (!q.empty()) {
+        const auto [d, v] = q.top();
+        q.pop();
+        if (d > dist[v]) continue;
+        if (via[v] != kInvalidEdge) keep_edge[via[v]] = 1;
+        for (const Arc& a : g.neighbors(v)) {
+          if (!alive(a.to)) continue;
+          const Weight nd = d + a.w;
+          if (nd >= next_dist[a.to]) continue;  // outside the cluster
+          if (nd < dist[a.to]) {
+            dist[a.to] = nd;
+            via[a.to] = a.edge;
+            q.push({nd, a.to});
+          }
+        }
+      }
+    }
+
+    level = std::move(next);
+  }
+
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (keep_edge[id]) spanner.push_back(id);
+  return spanner;
+}
+
+Graph thorup_zwick_spanner_graph(const Graph& g, std::size_t k,
+                                 std::uint64_t seed, const VertexSet* faults) {
+  return g.edge_subgraph(thorup_zwick_spanner(g, k, seed, faults));
+}
+
+}  // namespace ftspan

@@ -1,0 +1,29 @@
+// The Thorup–Zwick (2k-1)-spanner (from "Approximate distance oracles").
+//
+// Sample a hierarchy V = A_0 ⊇ A_1 ⊇ ... ⊇ A_{k-1} (A_k = ∅), each level
+// keeping vertices with probability n^{-1/k}. For every center w in
+// A_i \ A_{i+1}, its cluster is C(w) = { v : d(w,v) < d(v, A_{i+1}) }; the
+// spanner is the union of the shortest-path trees of all clusters.
+// Expected size O(k n^{1+1/k}), stretch 2k-1.
+//
+// This is the construction CLPR09 builds on; we use it both as a plain
+// baseline and inside the ftspanner baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Returns edge ids (into g) of a (2k-1)-spanner of G \ faults. k >= 1.
+std::vector<EdgeId> thorup_zwick_spanner(const Graph& g, std::size_t k,
+                                         std::uint64_t seed,
+                                         const VertexSet* faults = nullptr);
+
+Graph thorup_zwick_spanner_graph(const Graph& g, std::size_t k,
+                                 std::uint64_t seed,
+                                 const VertexSet* faults = nullptr);
+
+}  // namespace ftspan

@@ -1,0 +1,32 @@
+// Stretch verification for (plain) spanners.
+//
+// It suffices to check the spanner condition over the *edges* of G: if every
+// edge (u,v) of G \ F satisfies d_{H\F}(u,v) <= k * d_{G\F}(u,v), then every
+// pair does (each edge of a shortest path is stretched by at most k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Max over edges (u,v) of G \ faults of d_{H\F}(u,v) / d_{G\F}(u,v).
+/// Returns infinity if H fails to connect the endpoints of some surviving
+/// G-edge whose endpoints are connected in G \ F; returns 1.0 when G \ F has
+/// no edges. H must have the same vertex count as G.
+double max_edge_stretch(const Graph& g, const Graph& h,
+                        const VertexSet* faults = nullptr);
+
+/// True iff h is a k-spanner of g (restricted to G \ faults).
+bool is_k_spanner(const Graph& g, const Graph& h, double k,
+                  const VertexSet* faults = nullptr);
+
+/// Stretch over `samples` random vertex pairs (connected in G \ F); returns
+/// the maximum observed ratio. Cheap spot check for large graphs.
+double sampled_pair_stretch(const Graph& g, const Graph& h,
+                            std::size_t samples, std::uint64_t seed,
+                            const VertexSet* faults = nullptr);
+
+}  // namespace ftspan

@@ -1,0 +1,34 @@
+// Exact minimum-cost r-fault-tolerant 2-spanner via LP-based branch and
+// bound (tiny instances only; the problem is NP-hard).
+//
+// Bounds come from LP (4) with knapsack-cover cuts; branching is on the most
+// fractional capacity variable. Integral leaves are certified with the exact
+// Lemma 3.1 check; an integral-but-invalid leaf yields a violated
+// knapsack-cover cut (W = its currently complete paths) and is re-solved.
+// Used by experiment E5 to measure true approximation ratios.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lp/simplex.hpp"
+
+namespace ftspan {
+
+struct ExactOptions {
+  std::size_t max_nodes = 20'000;
+  SimplexOptions simplex;
+  std::size_t max_cut_rounds = 60;
+};
+
+struct ExactResult {
+  double cost = 0.0;
+  std::vector<char> in_spanner;
+  bool proven_optimal = false;  ///< false if a node/iteration cap was hit
+  std::size_t nodes = 0;        ///< branch-and-bound nodes explored
+};
+
+ExactResult exact_min_ft_2spanner(const Digraph& g, std::size_t r,
+                                  const ExactOptions& options = {});
+
+}  // namespace ftspan

@@ -1,0 +1,117 @@
+#include "spanner2/lll.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spanner2/verify2.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+namespace {
+
+/// Mutable rounding state: thresholds plus the derived edge memberships.
+struct State {
+  const Digraph& g;
+  const std::vector<double>& x;
+  double alpha;
+  std::vector<double> threshold;
+
+  bool edge_in(EdgeId id) const {
+    const DiEdge& e = g.edge(id);
+    return std::min(threshold[e.u], threshold[e.v]) <= alpha * x[id];
+  }
+
+  std::vector<char> materialize() const {
+    std::vector<char> in(g.num_edges(), 0);
+    for (EdgeId id = 0; id < g.num_edges(); ++id)
+      if (edge_in(id)) in[id] = 1;
+    return in;
+  }
+};
+
+/// A_{u,v} holds iff (u,v) is outside the spanner and has < r+1 2-paths.
+bool event_a(const State& s, EdgeId id, std::size_t r) {
+  if (s.edge_in(id)) return false;
+  const DiEdge& e = s.g.edge(id);
+  std::size_t count = 0;
+  for (const Arc& a : s.g.out_neighbors(e.u)) {
+    if (a.to == e.v || !s.edge_in(a.edge)) continue;
+    const auto second = s.g.edge_id(a.to, e.v);
+    if (second && s.edge_in(*second) && ++count > r) return false;
+  }
+  return count < r + 1;
+}
+
+/// B_u holds iff Z⁺_u + Z⁻_u > budget_factor · α · (out mass + in mass).
+bool event_b(const State& s, Vertex u, double budget_factor) {
+  double mass = 0;
+  std::size_t z = 0;
+  for (const Arc& a : s.g.out_neighbors(u)) {
+    mass += s.x[a.edge];
+    if (s.threshold[a.to] <= s.alpha * s.x[a.edge]) ++z;
+  }
+  for (const Arc& a : s.g.in_neighbors(u)) {
+    mass += s.x[a.edge];
+    if (s.threshold[a.to] <= s.alpha * s.x[a.edge]) ++z;
+  }
+  return static_cast<double>(z) > budget_factor * s.alpha * mass;
+}
+
+}  // namespace
+
+LllResult lll_ft_2spanner(const Digraph& g, std::size_t r, std::uint64_t seed,
+                          const LllOptions& options) {
+  LllResult out;
+  out.relaxation = solve_lp4(g, r, options.lp);
+  if (out.relaxation.status != LpStatus::kOptimal) return out;
+  out.lp_value = out.relaxation.value;
+
+  const std::size_t delta = std::max<std::size_t>(g.max_degree(), 2);
+  out.alpha = options.alpha.value_or(options.alpha_constant *
+                                     std::log(static_cast<double>(delta)));
+
+  Rng rng(seed);
+  State s{g, out.relaxation.x, out.alpha, {}};
+  s.threshold.resize(g.num_vertices());
+  for (double& t : s.threshold) t = rng.uniform();
+
+  // Moser–Tardos: while some bad event holds, resample the variables in its
+  // dependency set. Scan order (edges then vertices) is an arbitrary fixed
+  // selection rule, which the algorithmic LLL permits.
+  while (out.resamples < options.max_resamples) {
+    bool found = false;
+
+    for (EdgeId id = 0; id < g.num_edges() && !found; ++id) {
+      if (!event_a(s, id, r)) continue;
+      found = true;
+      ++out.resamples;
+      const DiEdge& e = g.edge(id);
+      s.threshold[e.u] = rng.uniform();
+      s.threshold[e.v] = rng.uniform();
+      for (Vertex mid : g.two_path_midpoints(e.u, e.v))
+        s.threshold[mid] = rng.uniform();
+    }
+    if (found) continue;
+
+    for (Vertex u = 0; u < g.num_vertices() && !found; ++u) {
+      if (!event_b(s, u, options.budget_factor)) continue;
+      found = true;
+      ++out.resamples;
+      for (const Arc& a : g.out_neighbors(u)) s.threshold[a.to] = rng.uniform();
+      for (const Arc& a : g.in_neighbors(u)) s.threshold[a.to] = rng.uniform();
+    }
+    if (!found) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.in_spanner = s.materialize();
+  if (!out.converged) out.repaired_edges = greedy_repair(g, out.in_spanner, r);
+  out.cost = spanner_cost(g, out.in_spanner);
+  out.valid = is_ft_2spanner(g, out.in_spanner, r);
+  return out;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,54 @@
+// Theorem 3.4: the O(log Δ)-approximation for unit costs via the
+// constructive Lovász Local Lemma (Moser–Tardos resampling).
+//
+// The rounding is Algorithm 1 with inflation α = C log Δ. The bad events are
+// exactly the paper's:
+//   A_{u,v}: edge (u,v) unsatisfied (not picked and < r+1 spanner 2-paths);
+//            depends on T_u, T_v and T_z for midpoints z of (u,v).
+//   B_u:     the locally charged degree Z⁺_u + Z⁻_u exceeds
+//            4α (Σ_out x + Σ_in x); depends on T_z for z ∈ N⁺(u) ∪ N⁻(u).
+// Moser–Tardos: draw all thresholds; while some event holds, redraw exactly
+// the variables that event depends on. Expected polynomial resamples when
+// e·p·(d+1) <= 1 (Lemma 3.5); we expose the resample count so experiment E7
+// can report it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "spanner2/formulation.hpp"
+
+namespace ftspan {
+
+struct LllOptions {
+  /// α = alpha_constant * ln(max(Δ, 2)), unless `alpha` overrides it.
+  double alpha_constant = 1.0;
+  std::optional<double> alpha;
+
+  /// Multiplier in the B_u budget (the paper uses 4).
+  double budget_factor = 4.0;
+
+  /// Give up (and greedy-repair) after this many resampling steps.
+  std::size_t max_resamples = 1'000'000;
+
+  CuttingPlaneOptions lp;
+};
+
+struct LllResult {
+  std::vector<char> in_spanner;
+  double cost = 0.0;
+  double lp_value = 0.0;
+  double alpha = 0.0;
+  std::size_t resamples = 0;      ///< Moser–Tardos resampling steps
+  std::size_t repaired_edges = 0; ///< only nonzero if resampling hit the cap
+  bool valid = false;
+  bool converged = false;         ///< all events avoided within the cap
+  RelaxationResult relaxation;
+};
+
+/// Theorem 3.4's algorithm. Intended for unit-cost digraphs of bounded
+/// degree; works for any costs but the O(log Δ) guarantee is for c_e = 1.
+LllResult lll_ft_2spanner(const Digraph& g, std::size_t r, std::uint64_t seed,
+                          const LllOptions& options = {});
+
+}  // namespace ftspan

@@ -1,0 +1,71 @@
+#include "spanner2/rounding.hpp"
+
+#include <cmath>
+
+#include "spanner2/verify2.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+
+std::vector<char> threshold_round(const Digraph& g,
+                                  const std::vector<double>& x, double alpha,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> threshold(g.num_vertices());
+  for (double& t : threshold) t = rng.uniform();
+
+  std::vector<char> in_spanner(g.num_edges(), 0);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const DiEdge& e = g.edge(id);
+    if (std::min(threshold[e.u], threshold[e.v]) <= alpha * x[id])
+      in_spanner[id] = 1;
+  }
+  return in_spanner;
+}
+
+TwoSpannerResult approx_ft_2spanner(const Digraph& g, std::size_t r,
+                                    std::uint64_t seed,
+                                    const RoundingOptions& options) {
+  TwoSpannerResult out;
+  out.relaxation = solve_lp4(g, r, options.lp);
+  if (out.relaxation.status != LpStatus::kOptimal) return out;
+  out.lp_value = out.relaxation.value;
+
+  const std::size_t n = g.num_vertices();
+  out.alpha = options.alpha.value_or(
+      options.alpha_constant *
+      std::log(static_cast<double>(std::max<std::size_t>(n, 2))));
+
+  Rng rng(seed);
+  std::vector<char> best;
+  double best_cost = kInfiniteWeight;
+  for (out.attempts = 1; out.attempts <= options.max_attempts; ++out.attempts) {
+    std::vector<char> cand = threshold_round(g, out.relaxation.x, out.alpha, rng());
+    if (!is_ft_2spanner(g, cand, r)) continue;
+    const double c = spanner_cost(g, cand);
+    if (c < best_cost) {
+      best_cost = c;
+      best = std::move(cand);
+    }
+    break;  // first valid rounding wins (Las Vegas); cost bound is in expectation
+  }
+
+  if (best.empty()) {
+    // No valid draw: take one more rounding and repair it (keeps the output
+    // valid deterministically; the repair cost is reported separately).
+    best = threshold_round(g, out.relaxation.x, out.alpha, rng());
+    if (options.repair) {
+      out.repaired_edges = greedy_repair(g, best, r);
+      best_cost = spanner_cost(g, best);
+    } else {
+      best_cost = spanner_cost(g, best);
+    }
+  }
+
+  out.in_spanner = std::move(best);
+  out.cost = best_cost;
+  out.valid = is_ft_2spanner(g, out.in_spanner, r);
+  return out;
+}
+
+}  // namespace ftspan

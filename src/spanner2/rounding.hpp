@@ -1,0 +1,54 @@
+// Algorithm 1 (threshold rounding) and the Theorem 3.3 approximation driver.
+//
+// Rounding: draw an independent threshold T_v ∈ [0,1) per vertex and keep
+// edge (u,v) iff min(T_u, T_v) <= α · x_{(u,v)}, with α = C ln n. Theorem 3.3
+// shows this yields a valid r-fault-tolerant 2-spanner w.h.p. at expected
+// cost O(log n) · LP*. The driver retries the rounding until the exact
+// Lemma 3.1 check passes (a Las Vegas loop), optionally finishing with the
+// greedy repair for stray unsatisfied edges at small α.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "spanner2/formulation.hpp"
+
+namespace ftspan {
+
+struct RoundingOptions {
+  /// α = alpha_constant * ln(max(n, 2)), unless `alpha` overrides it.
+  double alpha_constant = 1.0;
+  std::optional<double> alpha;
+
+  /// Rounding attempts before falling back to repair (each attempt redraws
+  /// all thresholds).
+  std::size_t max_attempts = 25;
+
+  /// Run greedy_repair on the final attempt if still invalid.
+  bool repair = true;
+
+  CuttingPlaneOptions lp;
+};
+
+struct TwoSpannerResult {
+  std::vector<char> in_spanner;  ///< per-edge membership
+  double cost = 0.0;
+  double lp_value = 0.0;         ///< LP (4) optimum (lower bound on OPT)
+  double alpha = 0.0;
+  std::size_t attempts = 0;      ///< rounding attempts used
+  std::size_t repaired_edges = 0;
+  bool valid = false;
+  RelaxationResult relaxation;   ///< LP solve details
+};
+
+/// One pass of Algorithm 1 over fractional capacities x (per edge id).
+std::vector<char> threshold_round(const Digraph& g,
+                                  const std::vector<double>& x, double alpha,
+                                  std::uint64_t seed);
+
+/// Theorem 3.3: solve LP (4), round, verify, retry/repair.
+TwoSpannerResult approx_ft_2spanner(const Digraph& g, std::size_t r,
+                                    std::uint64_t seed,
+                                    const RoundingOptions& options = {});
+
+}  // namespace ftspan

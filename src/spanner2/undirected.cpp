@@ -1,0 +1,70 @@
+#include "spanner2/undirected.hpp"
+
+#include "graph/generators.hpp"
+#include "spanner2/verify2.hpp"
+
+namespace ftspan {
+
+bool is_ft_2spanner_undirected(const Graph& g,
+                               const std::vector<char>& in_spanner,
+                               std::size_t r) {
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    if (in_spanner[id]) continue;
+    const Edge& e = g.edge(id);
+    std::size_t paths = 0;
+    for (const Arc& a : g.neighbors(e.u)) {
+      if (a.to == e.v || !in_spanner[a.edge]) continue;
+      const auto second = g.edge_id(a.to, e.v);
+      if (second && in_spanner[*second] && ++paths > r) break;
+    }
+    if (paths < r + 1) return false;
+  }
+  return true;
+}
+
+UndirectedTwoSpannerResult approx_ft_2spanner_undirected(
+    const Graph& g, std::size_t r, std::uint64_t seed,
+    const RoundingOptions& options) {
+  // Bidirect with half costs so the directed objective counts edge weights
+  // once when both arcs are bought.
+  Digraph d(g.num_vertices());
+  // Arc ids: 2*id (u->v) and 2*id+1 (v->u) for undirected edge id — the
+  // insertion order below guarantees it.
+  for (const Edge& e : g.edges()) {
+    d.add_edge(e.u, e.v, e.w / 2.0);
+    d.add_edge(e.v, e.u, e.w / 2.0);
+  }
+
+  const TwoSpannerResult directed = approx_ft_2spanner(d, r, seed, options);
+
+  UndirectedTwoSpannerResult out;
+  out.lp_value = directed.lp_value;
+  out.in_spanner.assign(g.num_edges(), 0);
+  if (directed.in_spanner.empty()) return out;
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (directed.in_spanner[2 * id] || directed.in_spanner[2 * id + 1])
+      out.in_spanner[id] = 1;
+
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (out.in_spanner[id]) out.cost += g.edge(id).w;
+  out.valid = is_ft_2spanner_undirected(g, out.in_spanner, r);
+
+  // The directed solution can in principle be valid while asymmetric repair
+  // left an undirected gap; finish with the undirected repair if needed.
+  if (!out.valid) {
+    // Symmetrized repair: work on the digraph, then re-symmetrize.
+    std::vector<char> arcs(d.num_edges(), 0);
+    for (EdgeId id = 0; id < g.num_edges(); ++id)
+      if (out.in_spanner[id]) arcs[2 * id] = arcs[2 * id + 1] = 1;
+    greedy_repair(d, arcs, r);
+    for (EdgeId id = 0; id < g.num_edges(); ++id)
+      out.in_spanner[id] = arcs[2 * id] || arcs[2 * id + 1];
+    out.cost = 0;
+    for (EdgeId id = 0; id < g.num_edges(); ++id)
+      if (out.in_spanner[id]) out.cost += g.edge(id).w;
+    out.valid = is_ft_2spanner_undirected(g, out.in_spanner, r);
+  }
+  return out;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,122 @@
+// Deterministic, platform-independent random number generation.
+//
+// Everything randomized in ftspan takes an explicit 64-bit seed and draws
+// from this generator, so experiments and tests reproduce bit-for-bit across
+// platforms (the standard library's distributions do not guarantee that).
+//
+// The core generator is xoshiro256** (Blackman & Vigna), seeded through
+// splitmix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace ftspan {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic 64-bit mix of two values; used to derive per-object seeds.
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's nearly-divisionless method with rejection.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Geometric: number of failures before the first success, success prob p.
+  /// (Pr[X = t] = (1-p)^t p, support {0, 1, 2, ...}.)
+  std::uint64_t geometric(double p) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+    const double u = 1.0 - uniform();  // in (0, 1]
+    return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <class Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel-safe substreams).
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ftspan

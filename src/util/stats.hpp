@@ -1,0 +1,90 @@
+// Small statistics helpers used by the benchmark harness and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ftspan {
+
+/// Accumulates samples; provides mean / variance / min / max / percentiles.
+class Stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const {
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s;
+  }
+
+  double mean() const { return empty() ? 0.0 : sum() / count(); }
+
+  double min() const {
+    return empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    return empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    if (count() < 2) return 0.0;
+    const double m = mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return s / (count() - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Percentile by linear interpolation, q in [0, 1].
+  double percentile(double q) const {
+    if (empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - lo;
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Least-squares slope of log(y) against log(x): the empirical exponent b in
+/// y ~ a * x^b. Used by the scaling experiments (E1, E2).
+inline double loglog_slope(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++used;
+  }
+  if (used < 2) return 0.0;
+  const double denom = used * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (used * sxy - sx * sy) / denom;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,82 @@
+// Markdown-style table printer for the benchmark harness.
+//
+// Every experiment binary prints one or more tables in this format so that
+// EXPERIMENTS.md can quote bench output verbatim.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ftspan {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Starts a new row; append cells with `cell(...)`.
+  Table& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  Table& cell(const std::string& s) {
+    rows_.back().push_back(s);
+    return *this;
+  }
+
+  Table& cell(const char* s) { return cell(std::string(s)); }
+
+  Table& cell(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return cell(os.str());
+  }
+
+  template <class Int>
+    requires std::integral<Int>
+  Table& cell(Int v) {
+    return cell(std::to_string(v));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        os << " " << s << std::string(width[c] - s.size(), ' ') << " |";
+      }
+      os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& r : rows_) print_row(r);
+    os.flush();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between tables in bench output.
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n## " << title << "\n\n";
+}
+
+}  // namespace ftspan

@@ -1,0 +1,123 @@
+#include "lp/cutting_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftspan {
+namespace {
+
+TEST(CuttingPlane, NoCutsNeeded) {
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 1.0);
+  const auto res = solve_with_cuts(m, [](const std::vector<double>&) {
+    return std::vector<LpConstraint>{};
+  });
+  EXPECT_EQ(res.solution.status, LpStatus::kOptimal);
+  EXPECT_EQ(res.rounds, 1u);
+  EXPECT_EQ(res.cuts_added, 0u);
+  EXPECT_TRUE(res.separated_clean);
+}
+
+TEST(CuttingPlane, LazyBoxConstraints) {
+  // min -x - y over the implicit polytope {x <= 2, y <= 3}, with the box
+  // described only by the oracle.
+  LpModel m;
+  const int x = m.add_variable(-1.0, 10.0);
+  const int y = m.add_variable(-1.0, 10.0);
+  const auto oracle = [&](const std::vector<double>& sol) {
+    std::vector<LpConstraint> cuts;
+    if (sol[0] > 2.0 + 1e-9) cuts.push_back({{{x, 1.0}}, Sense::kLessEqual, 2.0});
+    if (sol[1] > 3.0 + 1e-9) cuts.push_back({{{y, 1.0}}, Sense::kLessEqual, 3.0});
+    return cuts;
+  };
+  const auto res = solve_with_cuts(m, oracle);
+  ASSERT_EQ(res.solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.solution.objective, -5.0, 1e-7);
+  EXPECT_EQ(res.cuts_added, 2u);
+  EXPECT_TRUE(res.separated_clean);
+}
+
+TEST(CuttingPlane, ApproximatesCircleByTangents) {
+  // min -x - y over x² + y² <= 1, separated by tangent cuts at the current
+  // point. Converges toward x = y = 1/√2, objective -√2.
+  LpModel m;
+  const int x = m.add_variable(-1.0, 2.0);
+  const int y = m.add_variable(-1.0, 2.0);
+  const auto oracle = [&](const std::vector<double>& sol) {
+    std::vector<LpConstraint> cuts;
+    const double nrm = std::hypot(sol[0], sol[1]);
+    if (nrm > 1.0 + 1e-6) {
+      // Tangent at the projection: (x0/nrm) x + (y0/nrm) y <= 1.
+      cuts.push_back({{{x, sol[0] / nrm}, {y, sol[1] / nrm}},
+                      Sense::kLessEqual,
+                      1.0});
+    }
+    return cuts;
+  };
+  CuttingPlaneOptions opt;
+  opt.max_rounds = 100;
+  const auto res = solve_with_cuts(m, oracle, opt);
+  ASSERT_EQ(res.solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(res.solution.objective, -std::sqrt(2.0), 1e-4);
+}
+
+TEST(CuttingPlane, RoundLimitReported) {
+  LpModel m;
+  const int x = m.add_variable(-1.0, 100.0);
+  int calls = 0;
+  // An oracle that always cuts (never satisfied).
+  const auto oracle = [&](const std::vector<double>& sol) {
+    ++calls;
+    std::vector<LpConstraint> cuts;
+    cuts.push_back({{{x, 1.0}}, Sense::kLessEqual, sol[0] / 2.0});
+    return cuts;
+  };
+  CuttingPlaneOptions opt;
+  opt.max_rounds = 5;
+  const auto res = solve_with_cuts(m, oracle, opt);
+  EXPECT_EQ(res.rounds, 5u);
+  EXPECT_FALSE(res.separated_clean);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(CuttingPlane, CutsPerRoundCapped) {
+  LpModel m;
+  const int x = m.add_variable(-1.0, 100.0);
+  bool first = true;
+  const auto oracle = [&](const std::vector<double>&) {
+    std::vector<LpConstraint> cuts;
+    if (first) {
+      first = false;
+      for (int i = 0; i < 10; ++i)
+        cuts.push_back({{{x, 1.0}}, Sense::kLessEqual, 50.0 - i});
+    }
+    return cuts;
+  };
+  CuttingPlaneOptions opt;
+  opt.max_cuts_per_round = 3;
+  const auto res = solve_with_cuts(m, oracle, opt);
+  EXPECT_EQ(res.cuts_added, 3u);
+  EXPECT_EQ(res.solution.status, LpStatus::kOptimal);
+}
+
+TEST(CuttingPlane, InfeasibleCutStops) {
+  LpModel m;
+  const int x = m.add_variable(1.0, 1.0);
+  bool cut_given = false;
+  const auto oracle = [&](const std::vector<double>&) {
+    std::vector<LpConstraint> cuts;
+    if (!cut_given) {
+      cut_given = true;
+      cuts.push_back({{{x, 1.0}}, Sense::kGreaterEqual, 5.0});  // impossible
+    }
+    return cuts;
+  };
+  const auto res = solve_with_cuts(m, oracle);
+  EXPECT_EQ(res.solution.status, LpStatus::kInfeasible);
+  EXPECT_FALSE(res.separated_clean);
+}
+
+}  // namespace
+}  // namespace ftspan

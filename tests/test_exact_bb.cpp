@@ -1,0 +1,108 @@
+#include "spanner2/exact_bb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "spanner2/formulation.hpp"
+#include "spanner2/rounding.hpp"
+#include "spanner2/verify2.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(ExactBb, EmptyGraphCostsZero) {
+  Digraph g(4);
+  const auto res = exact_min_ft_2spanner(g, 1);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_DOUBLE_EQ(res.cost, 0.0);
+}
+
+TEST(ExactBb, LoneEdgeMustBeBought) {
+  Digraph g(2);
+  g.add_edge(0, 1, 7.0);
+  const auto res = exact_min_ft_2spanner(g, 0);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_DOUBLE_EQ(res.cost, 7.0);
+}
+
+TEST(ExactBb, TriangleR0) {
+  // 0->1 (1), 1->2 (1), 0->2 (3): OPT keeps all — dropping 0->2 needs both
+  // unit arcs anyway (cost 2 < 3 only if we can drop it; but dropping 0->2
+  // still requires covering it with the single 2-path, cost 1+1=2 already
+  // paid for covering the unit edges... so OPT = min(2+3, 2+2) = 4? No:
+  // (0,1) and (1,2) have no 2-paths, so both must be in any spanner. (0,2)
+  // is covered by the path 0->1->2 for r=0. OPT = 2.
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 3.0);
+  const auto res = exact_min_ft_2spanner(g, 0);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_DOUBLE_EQ(res.cost, 2.0);
+  EXPECT_FALSE(res.in_spanner[*g.edge_id(0, 2)]);
+}
+
+TEST(ExactBb, TriangleR1ForcesDirectEdge) {
+  // Same triangle, r = 1: one 2-path is not r+1 = 2, so (0,2) must be kept.
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 3.0);
+  const auto res = exact_min_ft_2spanner(g, 1);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_DOUBLE_EQ(res.cost, 5.0);
+  EXPECT_TRUE(res.in_spanner[*g.edge_id(0, 2)]);
+}
+
+TEST(ExactBb, GapGadgetOptimum) {
+  // r midpoints, fault tolerance r: the direct edge is mandatory; the unit
+  // arcs are mandatory too (each (0,w_i) and (w_i,1) has no 2-path).
+  const std::size_t r = 3;
+  const Digraph g = gap_gadget(r, 50.0);
+  const auto res = exact_min_ft_2spanner(g, r);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_DOUBLE_EQ(res.cost, 50.0 + 2.0 * r);
+}
+
+TEST(ExactBb, ResultIsValidAndBelowHeuristics) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Digraph g = di_gnp(8, 0.5, seed);
+    for (std::size_t r : {0u, 1u}) {
+      const auto exact = exact_min_ft_2spanner(g, r);
+      EXPECT_TRUE(exact.proven_optimal);
+      EXPECT_TRUE(is_ft_2spanner(g, exact.in_spanner, r));
+
+      const auto greedy = greedy_ft_2spanner(g, r);
+      EXPECT_LE(exact.cost, spanner_cost(g, greedy) + 1e-6);
+
+      const auto lp = solve_lp4(g, r);
+      ASSERT_EQ(lp.status, LpStatus::kOptimal);
+      EXPECT_GE(exact.cost, lp.value - 1e-6);
+    }
+  }
+}
+
+TEST(ExactBb, MatchesRoundingLowerBoundSandwich) {
+  // LP* <= OPT <= rounded cost.
+  const Digraph g = di_gnp(9, 0.45, 7);
+  const std::size_t r = 1;
+  const auto exact = exact_min_ft_2spanner(g, r);
+  const auto rounded = approx_ft_2spanner(g, r, 3);
+  ASSERT_TRUE(exact.proven_optimal);
+  ASSERT_TRUE(rounded.valid);
+  EXPECT_GE(exact.cost, rounded.lp_value - 1e-6);
+  EXPECT_LE(exact.cost, rounded.cost + 1e-6);
+}
+
+TEST(ExactBb, NodeCapReportsNotProven) {
+  const Digraph g = di_gnp(10, 0.6, 11);
+  ExactOptions opt;
+  opt.max_nodes = 1;
+  const auto res = exact_min_ft_2spanner(g, 1, opt);
+  EXPECT_FALSE(res.proven_optimal);
+  // Still returns the greedy incumbent, which is valid.
+  EXPECT_TRUE(is_ft_2spanner(g, res.in_spanner, 1));
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,100 @@
+#include "ftspanner/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ftspanner/conversion.hpp"
+#include "graph/generators.hpp"
+#include "spanner/greedy.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(CountFaultSets, SmallValues) {
+  EXPECT_EQ(count_fault_sets(5, 0), 1u);               // only ∅
+  EXPECT_EQ(count_fault_sets(5, 1), 6u);               // ∅ + 5
+  EXPECT_EQ(count_fault_sets(5, 2), 16u);              // 1 + 5 + 10
+  EXPECT_EQ(count_fault_sets(4, 4), 16u);              // all subsets
+  EXPECT_EQ(count_fault_sets(4, 10), 16u);             // r > n saturates at 2^n
+}
+
+TEST(CountFaultSets, SaturatesInsteadOfOverflowing) {
+  EXPECT_GT(count_fault_sets(1000, 20), 1'000'000'000u);
+}
+
+TEST(ExactCheck, SpannerOfItselfIsAlwaysValid) {
+  const Graph g = gnp(12, 0.5, 3);
+  const auto res = check_ft_spanner_exact(g, g, 3.0, 2);
+  EXPECT_TRUE(res.valid);
+  EXPECT_DOUBLE_EQ(res.worst_stretch, 1.0);
+  EXPECT_EQ(res.fault_sets_checked, count_fault_sets(12, 2));
+}
+
+TEST(ExactCheck, DetectsNonFaultTolerantSpanner) {
+  // Star spanner of K_5 is a 2-spanner but dies with the center.
+  const Graph g = complete(5);
+  const Graph h = star(5);
+  EXPECT_TRUE(check_ft_spanner_exact(g, h, 2.0, 0).valid);
+  const auto res = check_ft_spanner_exact(g, h, 2.0, 1);
+  EXPECT_FALSE(res.valid);
+  // Witness should be the center.
+  EXPECT_TRUE(res.witness_faults.contains(0));
+}
+
+TEST(ExactCheck, WitnessPairIsReal) {
+  const Graph g = complete(6);
+  const Graph h = star(6);
+  const auto res = check_ft_spanner_exact(g, h, 3.0, 1);
+  ASSERT_FALSE(res.valid);
+  EXPECT_NE(res.witness_u, kInvalidVertex);
+  EXPECT_NE(res.witness_v, kInvalidVertex);
+  EXPECT_TRUE(g.has_edge(res.witness_u, res.witness_v));
+  EXPECT_FALSE(res.witness_faults.contains(res.witness_u));
+  EXPECT_FALSE(res.witness_faults.contains(res.witness_v));
+}
+
+TEST(ExactCheck, TooManyFaultSetsThrows) {
+  const Graph g = gnp(100, 0.1, 1);
+  EXPECT_THROW(check_ft_spanner_exact(g, g, 3.0, 8), std::runtime_error);
+}
+
+TEST(SampledCheck, AgreesWithExactOnValidSpanner) {
+  const Graph g = complete(14);
+  const auto ft = ft_greedy_spanner(g, 3.0, 1, 7);
+  const Graph h = g.edge_subgraph(ft.edges);
+  ASSERT_TRUE(check_ft_spanner_exact(g, h, 3.0, 1).valid);
+  EXPECT_TRUE(check_ft_spanner_sampled(g, h, 3.0, 1, 200, 200, 5).valid);
+}
+
+TEST(SampledCheck, AdversaryFindsStarWeakness) {
+  // Random fault sets rarely hit the star center for large n, but the
+  // targeted adversary fails interior path vertices — i.e. the center.
+  const Graph g = complete(40);
+  const Graph h = star(40);
+  const auto res = check_ft_spanner_sampled(g, h, 2.0, 1, 0, 50, 5);
+  EXPECT_FALSE(res.valid);
+}
+
+TEST(SampledCheck, CountsFaultSets) {
+  const Graph g = complete(10);
+  const auto res = check_ft_spanner_sampled(g, g, 2.0, 1, 17, 9, 5);
+  EXPECT_EQ(res.fault_sets_checked, 26u);
+}
+
+TEST(FtCheckResult, ConsiderTracksWorst) {
+  FtCheckResult res;
+  res.witness_faults = VertexSet(4);
+  VertexSet f(4, {1});
+  res.consider(2.5, f, 0, 2, 3.0);
+  EXPECT_TRUE(res.valid);  // 2.5 <= 3
+  EXPECT_DOUBLE_EQ(res.worst_stretch, 2.5);
+  VertexSet f2(4, {2});
+  res.consider(3.5, f2, 0, 3, 3.0);
+  EXPECT_FALSE(res.valid);
+  EXPECT_EQ(res.witness_v, 3u);
+  // A smaller stretch later does not overwrite the worst.
+  res.consider(1.5, f, 0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(res.worst_stretch, 3.5);
+}
+
+}  // namespace
+}  // namespace ftspan

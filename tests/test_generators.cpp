@@ -1,0 +1,177 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/properties.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  const std::size_t n = 300;
+  const double p = 0.1;
+  const Graph g = gnp(n, p, 1);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.15 * expected);
+}
+
+TEST(Generators, GnpDeterministicPerSeed) {
+  const Graph a = gnp(50, 0.2, 7);
+  const Graph b = gnp(50, 0.2, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edge(i).u, b.edge(i).u);
+    EXPECT_EQ(a.edge(i).v, b.edge(i).v);
+  }
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(gnp(20, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(gnp(20, 1.0, 1).num_edges(), 190u);
+}
+
+TEST(Generators, GnpConnectedIsConnected) {
+  const Graph g = gnp_connected(60, 0.15, 3);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GnpConnectedThrowsWhenHopeless) {
+  EXPECT_THROW(gnp_connected(50, 0.0001, 3, 1.0, 3), std::runtime_error);
+}
+
+TEST(Generators, GnpWeighted) {
+  const Graph g = gnp(100, 0.2, 5, 10.0);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 1.0);
+    EXPECT_LE(e.w, 10.0);
+  }
+}
+
+TEST(Generators, RandomGeometricRespectsRadius) {
+  const Graph g = random_geometric(100, 0.3, 11);
+  for (const Edge& e : g.edges()) EXPECT_LE(e.w, 0.3 + 1e-9);
+}
+
+TEST(Generators, GridStructure) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // rows*(cols-1) + (rows-1)*cols = 3*3 + 2*4 = 17
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 4));  // row wrap must not connect
+}
+
+TEST(Generators, HypercubeStructure) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n d / 2
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteAndBipartite) {
+  EXPECT_EQ(complete(7).num_edges(), 21u);
+  const Graph kb = complete_bipartite(3, 4);
+  EXPECT_EQ(kb.num_edges(), 12u);
+  EXPECT_FALSE(kb.has_edge(0, 1));  // same side
+  EXPECT_TRUE(kb.has_edge(0, 3));
+}
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_EQ(path(5).num_edges(), 4u);
+  EXPECT_EQ(cycle(5).num_edges(), 5u);
+  const Graph s = star(6);
+  EXPECT_EQ(s.num_edges(), 5u);
+  EXPECT_EQ(s.degree(0), 5u);
+}
+
+TEST(Generators, BarabasiAlbertSizeAndConnectivity) {
+  const Graph g = barabasi_albert(200, 3, 17);
+  EXPECT_EQ(g.num_vertices(), 200u);
+  // Clique on 4 + 3 per additional vertex.
+  EXPECT_EQ(g.num_edges(), 6u + 3u * 196u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WattsStrogatzDegreeMass) {
+  const Graph g = watts_strogatz(100, 2, 0.1, 23);
+  // Ring lattice has n*k edges; rewiring can only drop duplicates.
+  EXPECT_GE(g.num_edges(), 150u);
+  EXPECT_LE(g.num_edges(), 200u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomRegularIshDegrees) {
+  const Graph g = random_regular_ish(100, 4, 29);
+  for (Vertex v = 0; v < 100; ++v) EXPECT_LE(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));  // union of 2 Hamiltonian cycles
+}
+
+TEST(Generators, DiGnpDensity) {
+  const Digraph g = di_gnp(100, 0.1, 31);
+  const double expected = 0.1 * 100 * 99;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 0.2 * expected);
+}
+
+TEST(Generators, DiCompleteCount) {
+  const Digraph g = di_complete(9);
+  EXPECT_EQ(g.num_edges(), 72u);
+  EXPECT_TRUE(g.has_edge(3, 5));
+  EXPECT_TRUE(g.has_edge(5, 3));
+}
+
+TEST(Generators, BidirectDoubles) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const Digraph d = bidirect(g);
+  EXPECT_EQ(d.num_edges(), 4u);
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_TRUE(d.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(d.edge(*d.edge_id(1, 0)).w, 2.0);
+}
+
+TEST(Generators, DiBoundedDegreeRespectsCap) {
+  const Digraph g = di_bounded_degree(80, 5, 0.8, 37);
+  for (Vertex v = 0; v < 80; ++v) {
+    EXPECT_LE(g.out_degree(v), 5u);
+    EXPECT_LE(g.in_degree(v), 5u);
+  }
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(Generators, GapGadgetShape) {
+  const Digraph g = gap_gadget(4, 100.0);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 9u);  // expensive edge + 2 per w_i
+  EXPECT_DOUBLE_EQ(g.edge(*g.edge_id(0, 1)).w, 100.0);
+  EXPECT_EQ(g.two_path_midpoints(0, 1).size(), 4u);
+}
+
+// Property sweep: generators produce simple graphs (no duplicate edges is
+// enforced by Graph; verify vertex counts and determinism across a grid).
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double, int>> {};
+
+TEST_P(GeneratorSweep, GnpIsSimpleAndDeterministic) {
+  const auto [n, p, seed] = GetParam();
+  const Graph a = gnp(n, p, static_cast<std::uint64_t>(seed));
+  const Graph b = gnp(n, p, static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_vertices(), n);
+  EXPECT_LE(a.num_edges(), n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeneratorSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 10, 64, 150),
+                       ::testing::Values(0.0, 0.05, 0.5, 1.0),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace ftspan

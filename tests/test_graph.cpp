@@ -1,0 +1,180 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ftspan {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  const EdgeId id = g.add_edge(0, 1, 2.5);
+  ASSERT_NE(id, kInvalidEdge);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.edge(id).w, 2.5);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_EQ(g.add_edge(1, 1), kInvalidEdge);
+  EXPECT_NE(g.add_edge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.add_edge(0, 1, 9.0), kInvalidEdge);
+  EXPECT_EQ(g.add_edge(1, 0, 9.0), kInvalidEdge);  // same undirected edge
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(3);
+  const EdgeId id = g.add_edge(1, 2);
+  EXPECT_EQ(g.edge(id).other(1), 2u);
+  EXPECT_EQ(g.edge(id).other(2), 1u);
+}
+
+TEST(Graph, NeighborsCarryEdgeIds) {
+  Graph g(3);
+  const EdgeId a = g.add_edge(0, 1, 1.0);
+  const EdgeId b = g.add_edge(0, 2, 3.0);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].edge, a);
+  EXPECT_EQ(nbrs[1].edge, b);
+  EXPECT_DOUBLE_EQ(nbrs[1].w, 3.0);
+}
+
+TEST(Graph, TotalWeightAndMaxDegree) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(0, 3, 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, SubgraphWithout) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  VertexSet faults(4, {1});
+  const Graph h = g.subgraph_without(faults);
+  EXPECT_EQ(h.num_vertices(), 4u);  // ids preserved
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_TRUE(h.has_edge(2, 3));
+  EXPECT_FALSE(h.has_edge(0, 1));
+}
+
+TEST(Graph, EdgeSubgraph) {
+  Graph g(4);
+  const EdgeId a = g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2);
+  const EdgeId c = g.add_edge(2, 3);
+  const Graph h = g.edge_subgraph({a, c});
+  EXPECT_EQ(h.num_edges(), 2u);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_FALSE(h.has_edge(1, 2));
+  EXPECT_DOUBLE_EQ(h.edge(*h.edge_id(0, 1)).w, 5.0);
+}
+
+TEST(Graph, FromEdges) {
+  const Graph g = Graph::from_edges(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Digraph, DirectedSemantics) {
+  Digraph g(3);
+  ASSERT_NE(g.add_edge(0, 1, 1.0), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));  // direction matters
+  ASSERT_NE(g.add_edge(1, 0, 2.0), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Digraph, InOutDegrees) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(3, 0);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Digraph, RejectsSelfLoopsAndDuplicates) {
+  Digraph g(2);
+  EXPECT_EQ(g.add_edge(0, 0), kInvalidEdge);
+  EXPECT_NE(g.add_edge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.add_edge(0, 1), kInvalidEdge);
+}
+
+TEST(Digraph, TwoPathMidpoints) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);  // 0 -> 2 -> 1 is a 2-path
+  g.add_edge(2, 1);
+  g.add_edge(0, 3);  // 3 has no edge to 1
+  g.add_edge(4, 1);  // no edge 0 -> 4
+  const auto mids = g.two_path_midpoints(0, 1);
+  ASSERT_EQ(mids.size(), 1u);
+  EXPECT_EQ(mids[0], 2u);
+}
+
+TEST(Digraph, TwoPathMidpointsExcludesEndpoints) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  // 0 -> 1 -> 2: midpoint 1; the direct edge (0,2) is not a 2-path.
+  const auto mids = g.two_path_midpoints(0, 2);
+  ASSERT_EQ(mids.size(), 1u);
+  EXPECT_EQ(mids[0], 1u);
+}
+
+TEST(Digraph, TwoPathMidpointsBothScanDirections) {
+  // Force both branches of the size heuristic (scan out(u) vs in(v)).
+  Digraph g(6);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.add_edge(0, 3);
+  g.add_edge(3, 1);
+  g.add_edge(4, 1);
+  g.add_edge(5, 1);  // in(1) larger than out(0) now
+  auto mids = g.two_path_midpoints(0, 1);
+  EXPECT_EQ(mids.size(), 2u);
+  g.add_edge(0, 4);
+  g.add_edge(0, 5);  // out(0) larger; same answer plus new midpoints
+  mids = g.two_path_midpoints(0, 1);
+  EXPECT_EQ(mids.size(), 4u);
+}
+
+TEST(Digraph, TotalCost) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(1, 2, 2.5);
+  EXPECT_DOUBLE_EQ(g.total_cost(), 4.0);
+}
+
+}  // namespace
+}  // namespace ftspan

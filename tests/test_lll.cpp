@@ -1,0 +1,91 @@
+#include "spanner2/lll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spanner2/rounding.hpp"
+#include "spanner2/verify2.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(Lll, ValidOnBoundedDegreeGraphs) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    const Digraph g = di_bounded_degree(40, 6, 0.7, seed);
+    for (std::size_t r : {0u, 1u}) {
+      const auto res = lll_ft_2spanner(g, r, seed * 3 + r);
+      EXPECT_TRUE(res.valid) << "seed=" << seed << " r=" << r;
+      EXPECT_TRUE(is_ft_2spanner(g, res.in_spanner, r));
+    }
+  }
+}
+
+TEST(Lll, AlphaUsesLogDelta) {
+  const Digraph g = di_bounded_degree(40, 6, 0.7, 5);
+  const auto res = lll_ft_2spanner(g, 0, 1);
+  EXPECT_NEAR(res.alpha, std::log(static_cast<double>(g.max_degree())), 1e-9);
+}
+
+TEST(Lll, ConvergesAndReportsResamples) {
+  const Digraph g = di_bounded_degree(30, 5, 0.7, 7);
+  LllOptions opt;
+  opt.alpha_constant = 3.0;  // generous alpha -> few / no resamples
+  const auto res = lll_ft_2spanner(g, 0, 2, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.repaired_edges, 0u);
+  EXPECT_TRUE(res.valid);
+}
+
+TEST(Lll, CostBoundedByBudgetEvents) {
+  // When converged, no B_u occurred: |E'| <= 2 · 4α Σ_e x_e.
+  const Digraph g = di_bounded_degree(40, 6, 0.8, 9);
+  LllOptions opt;
+  opt.alpha_constant = 2.0;
+  const auto res = lll_ft_2spanner(g, 1, 3, opt);
+  ASSERT_TRUE(res.converged);
+  double x_mass = 0;
+  for (double x : res.relaxation.x) x_mass += x;
+  EXPECT_LE(spanner_cost(g, res.in_spanner),
+            opt.budget_factor * 2.0 * res.alpha * x_mass + 1e-6);
+}
+
+TEST(Lll, CheaperOrComparableToLogNRoundingOnBoundedDegree) {
+  // The Theorem 3.4 claim in miniature: log Δ < log n when Δ << n, so the
+  // LLL rounding should generally not cost more. Average over seeds to damp
+  // randomness; assert a generous factor.
+  double lll_total = 0, logn_total = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Digraph g = di_bounded_degree(60, 4, 0.7, seed);
+    const auto lll = lll_ft_2spanner(g, 0, seed);
+    const auto logn = approx_ft_2spanner(g, 0, seed);
+    EXPECT_TRUE(lll.valid);
+    EXPECT_TRUE(logn.valid);
+    lll_total += lll.cost;
+    logn_total += logn.cost;
+  }
+  EXPECT_LT(lll_total, 1.5 * logn_total);
+}
+
+TEST(Lll, ResampleCapTriggersRepair) {
+  const Digraph g = di_bounded_degree(30, 5, 0.8, 11);
+  LllOptions opt;
+  opt.alpha = 1e-9;       // rounding keeps nothing; events always violated
+  opt.max_resamples = 10; // force the cap
+  const auto res = lll_ft_2spanner(g, 1, 5, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.valid);  // repair still guarantees validity
+  EXPECT_GT(res.repaired_edges, 0u);
+}
+
+TEST(Lll, EmptyGraphTrivial) {
+  Digraph g(5);
+  const auto res = lll_ft_2spanner(g, 2, 1);
+  EXPECT_TRUE(res.valid);
+  EXPECT_TRUE(res.converged);
+  EXPECT_DOUBLE_EQ(res.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace ftspan

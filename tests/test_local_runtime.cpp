@@ -1,0 +1,129 @@
+#include "local/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ftspan::local {
+namespace {
+
+using ftspan::Graph;
+using ftspan::Vertex;
+using ftspan::VertexSet;
+using ftspan::path;
+
+TEST(Runtime, RoundsAndMessagesCounted) {
+  const Graph g = ftspan::cycle(6);
+  const auto stats = run_rounds<int>(
+      g, 3,
+      [](std::size_t, Vertex, const std::vector<Inbound<int>>&,
+         Mailbox<int>& mb) { mb.broadcast(1); });
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.messages, 3u * 12u);  // 6 vertices x degree 2 per round
+}
+
+TEST(Runtime, OneHopPerRoundLocality) {
+  // Token starts at vertex 0 of a path; measure when each vertex first
+  // hears it. Information must travel exactly one hop per round.
+  const Graph g = path(6);
+  std::vector<std::size_t> heard(6, 999);
+  run_rounds<int>(g, 6, [&](std::size_t round, Vertex v,
+                            const std::vector<Inbound<int>>& inbox,
+                            Mailbox<int>& mb) {
+    if (round == 0 && v == 0) {
+      heard[0] = 0;
+      mb.broadcast(1);
+      return;
+    }
+    if (!inbox.empty() && heard[v] == 999) {
+      heard[v] = round;
+      mb.broadcast(1);
+    }
+  });
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(heard[v], v);
+}
+
+TEST(Runtime, SendToSpecificNeighbor) {
+  const Graph g = path(3);
+  std::vector<int> received(3, 0);
+  run_rounds<int>(g, 2, [&](std::size_t round, Vertex v,
+                            const std::vector<Inbound<int>>& inbox,
+                            Mailbox<int>& mb) {
+    if (round == 0 && v == 1) mb.send(2, 42);
+    for (const auto& in : inbox) received[v] += in.msg;
+  });
+  EXPECT_EQ(received[0], 0);
+  EXPECT_EQ(received[2], 42);
+}
+
+TEST(Runtime, SendToNonNeighborThrows) {
+  const Graph g = path(3);  // 0 and 2 are not adjacent
+  EXPECT_THROW(
+      run_rounds<int>(g, 1,
+                      [](std::size_t, Vertex v, const std::vector<Inbound<int>>&,
+                         Mailbox<int>& mb) {
+                        if (v == 0) mb.send(2, 1);
+                      }),
+      std::logic_error);
+}
+
+TEST(Runtime, FaultyNodesSilent) {
+  const Graph g = path(3);
+  VertexSet faults(3, {1});
+  std::size_t mid_received = 0, end_received = 0;
+  const auto stats = run_rounds<int>(
+      g, 3,
+      [&](std::size_t, Vertex v, const std::vector<Inbound<int>>& inbox,
+          Mailbox<int>& mb) {
+        if (v == 1) mid_received += inbox.size();
+        if (v == 2) end_received += inbox.size();
+        mb.broadcast(7);
+      },
+      &faults);
+  // Vertex 1 never runs; nothing reaches vertex 2 (its only neighbor is 1).
+  EXPECT_EQ(mid_received, 0u);
+  EXPECT_EQ(end_received, 0u);
+  // Sends *to* the faulty vertex are dropped, not counted.
+  EXPECT_EQ(stats.messages, 0u + 3u * 1u * 0u + 0u);
+}
+
+TEST(Runtime, SendersToFaultyNeighborsDropped) {
+  const Graph g = ftspan::complete(3);
+  VertexSet faults(3, {2});
+  const auto stats = run_rounds<int>(
+      g, 1,
+      [](std::size_t, Vertex, const std::vector<Inbound<int>>&,
+         Mailbox<int>& mb) { mb.broadcast(1); },
+      &faults);
+  // 2 alive vertices; each broadcast reaches only the other alive one.
+  EXPECT_EQ(stats.messages, 2u);
+}
+
+TEST(Runtime, InboxClearedBetweenRounds) {
+  const Graph g = path(2);
+  std::vector<std::size_t> inbox_sizes;
+  run_rounds<int>(g, 3, [&](std::size_t round, Vertex v,
+                            const std::vector<Inbound<int>>& inbox,
+                            Mailbox<int>& mb) {
+    if (v == 0) {
+      inbox_sizes.push_back(inbox.size());
+      if (round == 0) mb.send(1, 1);
+    }
+    if (v == 1 && round == 1) mb.send(0, 2);  // replies once
+  });
+  // Round 0: empty; round 1: empty (reply not yet sent); round 2: one msg.
+  ASSERT_EQ(inbox_sizes.size(), 3u);
+  EXPECT_EQ(inbox_sizes[0], 0u);
+  EXPECT_EQ(inbox_sizes[1], 0u);
+  EXPECT_EQ(inbox_sizes[2], 1u);
+}
+
+TEST(Runtime, StatsAccumulate) {
+  RunStats a{2, 10}, b{3, 5};
+  a += b;
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_EQ(a.messages, 15u);
+}
+
+}  // namespace
+}  // namespace ftspan::local

@@ -1,0 +1,125 @@
+#include "local/padded_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace ftspan::local {
+namespace {
+
+using ftspan::Graph;
+using ftspan::Vertex;
+using ftspan::kInvalidVertex;
+
+TEST(PaddedDecomposition, EveryVertexAssigned) {
+  const Graph g = ftspan::gnp_connected(80, 0.08, 3);
+  const auto d = sample_padded_decomposition(g, 7);
+  for (Vertex v = 0; v < 80; ++v) EXPECT_NE(d.center[v], kInvalidVertex);
+}
+
+TEST(PaddedDecomposition, IsolatedVertexIsOwnCluster) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = sample_padded_decomposition(g, 1);
+  EXPECT_EQ(d.center[2], 2u);
+}
+
+TEST(PaddedDecomposition, SmallestReachingIdWins) {
+  // On a path, vertex 0's ball covers whatever its radius allows, and any
+  // covered vertex must choose center 0 (the smallest ID overall).
+  const Graph g = ftspan::path(30);
+  const auto d = sample_padded_decomposition(g, 11);
+  for (Vertex v = 0; v < 30; ++v) {
+    if (v <= d.radius[0]) {
+      EXPECT_EQ(d.center[v], 0u);
+    }
+  }
+}
+
+TEST(PaddedDecomposition, RadiiRespectCap) {
+  const Graph g = ftspan::gnp(200, 0.05, 5);
+  const auto d = sample_padded_decomposition(g, 9);
+  for (Vertex v = 0; v < 200; ++v) EXPECT_LE(d.radius[v], d.radius_cap);
+}
+
+TEST(PaddedDecomposition, ClusterDiameterLogarithmic) {
+  // diam(C ∪ {center}) <= 2 * radius_cap = O(log n).
+  const Graph g = ftspan::gnp_connected(150, 0.05, 13);
+  const auto d = sample_padded_decomposition(g, 13);
+  EXPECT_LE(max_cluster_diameter(g, d), 2 * d.radius_cap);
+}
+
+TEST(PaddedDecomposition, PaddingProbabilityAtLeastHalf) {
+  // Definition 3.6 condition 2, measured empirically: the fraction of
+  // (vertex, sample) pairs with N(x) ⊆ P(x) should be >= (1-p)² ~ 0.64;
+  // assert the paper's 1/2 with slack.
+  const Graph g = ftspan::gnp_connected(60, 0.08, 17);
+  std::size_t padded = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const auto d = sample_padded_decomposition(g, seed);
+    for (Vertex v = 0; v < 60; ++v) {
+      padded += is_padded(g, d, v);
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(padded) / total, 0.5);
+}
+
+TEST(PaddedDecomposition, DistributedMatchesCentralizedRule) {
+  // Same seed -> same radii -> identical assignment.
+  const Graph g = ftspan::gnp_connected(50, 0.1, 19);
+  const auto c = sample_padded_decomposition(g, 23);
+  const auto d = distributed_padded_decomposition(g, 23);
+  EXPECT_EQ(c.center, d.center);
+  EXPECT_EQ(c.radius, d.radius);
+}
+
+TEST(PaddedDecomposition, DistributedRoundsAreLogarithmic) {
+  const Graph g = ftspan::gnp_connected(100, 0.07, 29);
+  RunStats stats;
+  const auto d = distributed_padded_decomposition(g, 31, {}, &stats);
+  EXPECT_EQ(stats.rounds, d.radius_cap + 1);
+  const double ln_n = std::log(100.0);
+  EXPECT_LE(static_cast<double>(stats.rounds), 8.0 * ln_n + 2.0);
+}
+
+TEST(PaddedDecomposition, CentersListedOnce) {
+  const Graph g = ftspan::grid(8, 8);
+  const auto d = sample_padded_decomposition(g, 37);
+  const auto cs = d.centers();
+  for (std::size_t i = 1; i < cs.size(); ++i) EXPECT_LT(cs[i - 1], cs[i]);
+  // Every vertex's center is in the list.
+  for (Vertex v = 0; v < 64; ++v)
+    EXPECT_TRUE(std::binary_search(cs.begin(), cs.end(), d.center[v]));
+}
+
+TEST(PaddedDecomposition, ClusterOfReturnsMembers) {
+  const Graph g = ftspan::path(10);
+  const auto d = sample_padded_decomposition(g, 41);
+  std::size_t total = 0;
+  for (Vertex c : d.centers()) total += d.cluster_of(c).size();
+  EXPECT_EQ(total, 10u);  // partition
+}
+
+TEST(PaddedDecomposition, HigherPShrinksRadii) {
+  const Graph g = ftspan::gnp(100, 0.05, 43);
+  PaddedDecompositionOptions lo, hi;
+  lo.geometric_p = 0.1;
+  hi.geometric_p = 0.6;
+  double lo_sum = 0, hi_sum = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto a = sample_padded_decomposition(g, seed, lo);
+    const auto b = sample_padded_decomposition(g, seed, hi);
+    for (Vertex v = 0; v < 100; ++v) {
+      lo_sum += static_cast<double>(a.radius[v]);
+      hi_sum += static_cast<double>(b.radius[v]);
+    }
+  }
+  EXPECT_GT(lo_sum, 2.0 * hi_sum);
+}
+
+}  // namespace
+}  // namespace ftspan::local

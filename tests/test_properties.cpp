@@ -1,0 +1,83 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(Properties, ConnectivityBasics) {
+  EXPECT_TRUE(is_connected(path(10)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(num_components(g), 2u);
+}
+
+TEST(Properties, IsolatedVerticesCount) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  EXPECT_EQ(num_components(g), 4u);
+}
+
+TEST(Properties, ConnectivityUnderFaults) {
+  const Graph g = path(5);
+  VertexSet mid(5, {2});
+  EXPECT_FALSE(is_connected(g, &mid));
+  EXPECT_EQ(num_components(g, &mid), 2u);
+  VertexSet end(5, {0});
+  EXPECT_TRUE(is_connected(g, &end));
+}
+
+TEST(Properties, HopEccentricityAndDiameter) {
+  const Graph g = path(6);
+  EXPECT_EQ(hop_eccentricity(g, 0), 5u);
+  EXPECT_EQ(hop_eccentricity(g, 3), 3u);
+  EXPECT_EQ(hop_diameter(g), 5u);
+  EXPECT_EQ(hop_diameter(cycle(8)), 4u);
+  EXPECT_EQ(hop_diameter(complete(7)), 1u);
+  EXPECT_EQ(hop_diameter(grid(4, 4)), 6u);
+}
+
+TEST(Properties, DiameterIgnoresUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(hop_diameter(g), 1u);
+}
+
+TEST(Properties, WeakDiameterThroughGraph) {
+  // Subset {0, 4} of a 5-cycle: weak diameter goes through the graph (2),
+  // even though the subset induces no edges.
+  const Graph g = cycle(5);
+  EXPECT_EQ(weak_diameter(g, {0, 2}), 2u);
+  EXPECT_EQ(weak_diameter(g, {0}), 0u);
+  EXPECT_EQ(weak_diameter(g, {}), 0u);
+}
+
+TEST(Properties, DegreeHistogram) {
+  const Graph g = star(5);  // center degree 4, leaves degree 1
+  const auto h = degree_histogram(g);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[1], 4u);
+  EXPECT_EQ(h[4], 1u);
+  EXPECT_EQ(h[0], 0u);
+}
+
+TEST(Properties, WeaklyConnectedDigraph) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);  // no directed path 0->2, but weakly connected
+  EXPECT_TRUE(is_weakly_connected(g));
+  Digraph h(4);
+  h.add_edge(0, 1);
+  h.add_edge(2, 3);
+  EXPECT_FALSE(is_weakly_connected(h));
+}
+
+}  // namespace
+}  // namespace ftspan

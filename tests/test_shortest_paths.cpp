@@ -1,0 +1,155 @@
+#include "graph/shortest_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+namespace {
+
+Graph diamond() {
+  // 0 -1- 1 -1- 3, 0 -1- 2 -1- 3, plus a heavy direct edge 0 -5- 3.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 3, 5.0);
+  return g;
+}
+
+TEST(Dijkstra, BasicDistances) {
+  const auto t = dijkstra(diamond(), 0);
+  EXPECT_DOUBLE_EQ(t.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(t.dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(t.dist[3], 2.0);
+}
+
+TEST(Dijkstra, ParentsFormTree) {
+  const auto t = dijkstra(diamond(), 0);
+  EXPECT_EQ(t.parent[0], kInvalidVertex);
+  // 3's parent is 1 or 2 (tie), never the heavy direct edge's endpoint 0.
+  EXPECT_TRUE(t.parent[3] == 1 || t.parent[3] == 2);
+}
+
+TEST(Dijkstra, FaultMaskReroutes) {
+  const Graph g = diamond();
+  VertexSet f(4, {1});
+  auto t = dijkstra(g, 0, &f);
+  EXPECT_DOUBLE_EQ(t.dist[3], 2.0);  // via 2
+  VertexSet f2(4, {1, 2});
+  t = dijkstra(g, 0, &f2);
+  EXPECT_DOUBLE_EQ(t.dist[3], 5.0);  // only the direct edge remains
+}
+
+TEST(Dijkstra, FaultySourceUnreachable) {
+  const Graph g = diamond();
+  VertexSet f(4, {0});
+  const auto t = dijkstra(g, 0, &f);
+  EXPECT_FALSE(t.reachable(0));
+  EXPECT_FALSE(t.reachable(3));
+}
+
+TEST(Dijkstra, BoundCutsOff) {
+  const Graph g = path(10);  // 0-1-...-9, unit weights
+  const auto t = dijkstra(g, 0, nullptr, 3.0);
+  EXPECT_TRUE(t.reachable(3));
+  EXPECT_FALSE(t.reachable(4));
+}
+
+TEST(Dijkstra, DisconnectedInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto t = dijkstra(g, 0);
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_EQ(t.dist[2], kInfiniteWeight);
+}
+
+TEST(Bfs, HopCountsIgnoreWeights) {
+  const Graph g = diamond();  // heavy 0-3 edge is 1 hop
+  const auto t = bfs(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[3], 1.0);
+}
+
+TEST(Bfs, MaxHopsLimit) {
+  const Graph g = path(10);
+  const auto t = bfs(g, 0, nullptr, 4);
+  EXPECT_TRUE(t.reachable(4));
+  EXPECT_FALSE(t.reachable(5));
+}
+
+TEST(Bfs, FaultMask) {
+  const Graph g = path(5);
+  VertexSet f(5, {2});
+  const auto t = bfs(g, 0, &f);
+  EXPECT_TRUE(t.reachable(1));
+  EXPECT_FALSE(t.reachable(3));
+}
+
+TEST(PairDistance, MatchesDijkstra) {
+  const Graph g = gnp_connected(60, 0.1, 5, 4.0);
+  const auto t = dijkstra(g, 7);
+  for (Vertex v : {0u, 13u, 59u})
+    EXPECT_DOUBLE_EQ(pair_distance(g, 7, v), t.dist[v]);
+}
+
+TEST(PairDistance, BoundReturnsInfinityBeyond) {
+  const Graph g = path(10);
+  EXPECT_EQ(pair_distance(g, 0, 9, nullptr, 4.0), kInfiniteWeight);
+  EXPECT_DOUBLE_EQ(pair_distance(g, 0, 4, nullptr, 4.0), 4.0);
+}
+
+TEST(AllPairs, SymmetricAndConsistent) {
+  const Graph g = gnp_connected(40, 0.15, 9, 3.0);
+  const auto d = all_pairs_distances(g);
+  for (Vertex u = 0; u < 40; ++u)
+    for (Vertex v = u; v < 40; ++v) EXPECT_DOUBLE_EQ(d[u][v], d[v][u]);
+  // Triangle inequality on a few triples.
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Vertex a = static_cast<Vertex>(rng.uniform_index(40));
+    const Vertex b = static_cast<Vertex>(rng.uniform_index(40));
+    const Vertex c = static_cast<Vertex>(rng.uniform_index(40));
+    EXPECT_LE(d[a][c], d[a][b] + d[b][c] + 1e-9);
+  }
+}
+
+TEST(DigraphDijkstra, FollowsDirection) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  auto t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[2], 2.0);
+  t = dijkstra(g, 2);
+  EXPECT_FALSE(t.reachable(0));  // no reverse arcs
+}
+
+TEST(DigraphDijkstra, FaultMask) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  VertexSet f(4, {1});
+  const auto t = dijkstra(g, 0, &f);
+  EXPECT_DOUBLE_EQ(t.dist[3], 2.0);
+}
+
+// Property: Dijkstra distances on unit-weight graphs equal BFS hop counts.
+class UnitWeightEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnitWeightEquivalence, DijkstraEqualsBfs) {
+  const Graph g = gnp(80, 0.08, static_cast<std::uint64_t>(GetParam()));
+  const auto dj = dijkstra(g, 0);
+  const auto bf = bfs(g, 0);
+  for (Vertex v = 0; v < 80; ++v) EXPECT_DOUBLE_EQ(dj.dist[v], bf.dist[v]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnitWeightEquivalence,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ftspan

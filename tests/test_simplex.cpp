@@ -1,0 +1,199 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lp/model.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(Simplex, TrivialEmptyModel) {
+  LpModel m;
+  const auto sol = solve_lp(m);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+}
+
+TEST(Simplex, SingleVariableLowerBoundOptimum) {
+  LpModel m;
+  m.add_variable(1.0);  // min x, x >= 0
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.x[0], 0.0);
+}
+
+TEST(Simplex, CoveringConstraintBinds) {
+  LpModel m;
+  const int x = m.add_variable(3.0);
+  m.add_constraint({{x, 2.0}}, Sense::kGreaterEqual, 5.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.5, 1e-8);
+  EXPECT_NEAR(sol.objective, 7.5, 1e-8);
+}
+
+TEST(Simplex, ClassicTwoVariableProblem) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), obj -36.
+  LpModel m;
+  const int x = m.add_variable(-3.0);
+  const int y = m.add_variable(-5.0);
+  m.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -36.0, 1e-7);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 3, x <= 1 -> (1, 2), obj 5.
+  LpModel m;
+  const int x = m.add_variable(1.0, 1.0);
+  const int y = m.add_variable(2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, UpperBoundsViaModel) {
+  // min -x, x <= 0.75 (upper bound), expect x = 0.75.
+  LpModel m;
+  m.add_variable(-1.0, 0.75);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.75, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpModel m;
+  const int x = m.add_variable(1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);  // x <= 1 conflicts
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualities) {
+  LpModel m;
+  const int x = m.add_variable(0.0);
+  const int y = m.add_variable(0.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 2.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpModel m;
+  const int x = m.add_variable(-1.0);  // min -x, x unbounded above
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 1.0);
+  EXPECT_EQ(solve_lp(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -2  (i.e. x >= 2)
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, -1.0}}, Sense::kLessEqual, -2.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+}
+
+TEST(Simplex, DuplicateTermsInRowAreSummed) {
+  // min x s.t. x + x >= 4 -> x = 2.
+  LpModel m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Sense::kGreaterEqual, 4.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic cycling-prone LP (Beale); must terminate via Bland fallback.
+  LpModel m;
+  const int x1 = m.add_variable(-0.75);
+  const int x2 = m.add_variable(150.0);
+  const int x3 = m.add_variable(-0.02);
+  const int x4 = m.add_variable(6.0);
+  m.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Sense::kLessEqual, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Sense::kLessEqual, 0.0);
+  m.add_constraint({{x3, 1.0}}, Sense::kLessEqual, 1.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers (10, 20), 2 consumers (15, 15); costs {{2,3},{4,1}}.
+  // Optimum: s0->c0:10, s1->c0:5, s1->c1:15 -> 20+20+15 = 55.
+  LpModel m;
+  const int a = m.add_variable(2.0);
+  const int b = m.add_variable(3.0);
+  const int c = m.add_variable(4.0);
+  const int d = m.add_variable(1.0);
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, Sense::kLessEqual, 10.0);
+  m.add_constraint({{c, 1.0}, {d, 1.0}}, Sense::kLessEqual, 20.0);
+  m.add_constraint({{a, 1.0}, {c, 1.0}}, Sense::kGreaterEqual, 15.0);
+  m.add_constraint({{b, 1.0}, {d, 1.0}}, Sense::kGreaterEqual, 15.0);
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 55.0, 1e-7);
+}
+
+TEST(Simplex, SolutionSatisfiesModel) {
+  // Random covering LPs: optimal solutions must be feasible.
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpModel m;
+    const int nv = 5 + static_cast<int>(rng.uniform_index(5));
+    for (int v = 0; v < nv; ++v) m.add_variable(1.0 + rng.uniform(), 1.0);
+    for (int c = 0; c < nv; ++c) {
+      std::vector<LinearTerm> terms;
+      for (int v = 0; v < nv; ++v)
+        if (rng.bernoulli(0.5)) terms.push_back({v, 1.0 + rng.uniform()});
+      if (terms.empty()) terms.push_back({0, 1.0});
+      m.add_constraint(std::move(terms), Sense::kGreaterEqual,
+                       0.5 + rng.uniform());
+    }
+    const auto sol = solve_lp(m);
+    if (sol.status != LpStatus::kOptimal) continue;  // can be infeasible
+    EXPECT_LT(m.max_violation(sol.x), 1e-6) << "trial " << trial;
+    EXPECT_NEAR(m.objective_value(sol.x), sol.objective, 1e-6);
+  }
+}
+
+TEST(Simplex, IterationLimitReported) {
+  LpModel m;
+  const int x = m.add_variable(-3.0);
+  const int y = m.add_variable(-5.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLessEqual, 4.0);
+  SimplexOptions opt;
+  opt.max_iterations = 0;
+  EXPECT_EQ(solve_lp(m, opt).status, LpStatus::kIterationLimit);
+}
+
+TEST(LpModel, Validation) {
+  LpModel m;
+  EXPECT_THROW(m.add_variable(1.0, -1.0), std::invalid_argument);
+  m.add_variable(1.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, Sense::kEqual, 0.0),
+               std::out_of_range);
+}
+
+TEST(LpModel, MaxViolationMeasures) {
+  LpModel m;
+  const int x = m.add_variable(1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 0.8);
+  EXPECT_NEAR(m.max_violation({0.5}), 0.3, 1e-12);   // covering short by 0.3
+  EXPECT_NEAR(m.max_violation({2.0}), 1.0, 1e-12);   // bound exceeded by 1
+  EXPECT_NEAR(m.max_violation({-0.25}), 1.05, 1e-12);  // below zero + covering
+  EXPECT_DOUBLE_EQ(m.max_violation({0.9}), 0.0);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(Stats, EmptyIsSafe) {
+  Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(Stats, MeanMinMax) {
+  Stats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(Stats, VarianceKnownValue) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, SingleSampleVarianceZero) {
+  Stats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  Stats odd;
+  for (double x : {5.0, 1.0, 3.0}) odd.add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  Stats even;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) even.add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  Stats s;
+  for (double x : {10.0, 20.0, 30.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 30.0);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  // y = 2 x^1.5
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(2.0 * std::pow(v, 1.5));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 1.5, 1e-9);
+}
+
+TEST(LogLogSlope, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(loglog_slope({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(loglog_slope({}, {}), 0.0);
+  // Non-positive values are skipped.
+  EXPECT_DOUBLE_EQ(loglog_slope({0.0, -1.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(Table, PrintsAlignedMarkdown) {
+  Table t({"a", "long_header"});
+  t.row().cell("x").cell(1.5, 1);
+  t.row().cell(std::size_t{42}).cell("y");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a  | long_header |"), std::string::npos);
+  EXPECT_NE(out.find("| x  | 1.5"), std::string::npos);
+  EXPECT_NE(out.find("| 42 |"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("|----"), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftspan

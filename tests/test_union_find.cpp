@@ -1,0 +1,62 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(UnionFind, InitiallySingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  for (Vertex v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.find(v), v);
+    EXPECT_EQ(uf.component_size(v), 1u);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_EQ(uf.component_size(3), 4u);
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFind, UniteSameComponentReturnsFalse) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.num_components(), 2u);
+}
+
+TEST(UnionFind, RandomStressAgainstNaive) {
+  const std::size_t n = 200;
+  UnionFind uf(n);
+  std::vector<int> label(n);
+  for (std::size_t i = 0; i < n; ++i) label[i] = static_cast<int>(i);
+
+  Rng rng(99);
+  for (int op = 0; op < 500; ++op) {
+    const Vertex a = static_cast<Vertex>(rng.uniform_index(n));
+    const Vertex b = static_cast<Vertex>(rng.uniform_index(n));
+    uf.unite(a, b);
+    const int la = label[a], lb = label[b];
+    if (la != lb)
+      for (std::size_t i = 0; i < n; ++i)
+        if (label[i] == lb) label[i] = la;
+    // Spot-check equivalence.
+    const Vertex c = static_cast<Vertex>(rng.uniform_index(n));
+    const Vertex d = static_cast<Vertex>(rng.uniform_index(n));
+    EXPECT_EQ(uf.same(c, d), label[c] == label[d]);
+  }
+}
+
+}  // namespace
+}  // namespace ftspan

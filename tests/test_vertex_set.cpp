@@ -1,0 +1,112 @@
+#include "graph/vertex_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ftspan {
+namespace {
+
+TEST(VertexSet, EmptyAfterConstruction) {
+  VertexSet s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.universe_size(), 100u);
+  for (Vertex v = 0; v < 100; ++v) EXPECT_FALSE(s.contains(v));
+}
+
+TEST(VertexSet, InsertEraseContains) {
+  VertexSet s(70);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(69);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(69));
+  EXPECT_FALSE(s.contains(1));
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(VertexSet, InitializerList) {
+  VertexSet s(10, {1, 3, 5});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(VertexSet, InsertIdempotent) {
+  VertexSet s(10);
+  s.insert(5);
+  s.insert(5);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(VertexSet, ClearEmpties) {
+  VertexSet s(10, {1, 2, 3});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(VertexSet, ToVectorSorted) {
+  VertexSet s(130, {129, 0, 64, 63});
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 63u);
+  EXPECT_EQ(v[2], 64u);
+  EXPECT_EQ(v[3], 129u);
+}
+
+TEST(VertexSet, DisjointAndSubset) {
+  VertexSet a(10, {1, 2});
+  VertexSet b(10, {3, 4});
+  VertexSet c(10, {1, 2, 3});
+  EXPECT_TRUE(a.disjoint_from(b));
+  EXPECT_FALSE(a.disjoint_from(c));
+  EXPECT_TRUE(a.subset_of(c));
+  EXPECT_FALSE(c.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+}
+
+TEST(VertexSet, UnionAssign) {
+  VertexSet a(10, {1, 2});
+  VertexSet b(10, {2, 3});
+  a |= b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.contains(3));
+}
+
+TEST(VertexSet, ComplementRespectsUniverse) {
+  VertexSet s(67, {0, 66});
+  const VertexSet c = s.complement();
+  EXPECT_EQ(c.count(), 65u);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_FALSE(c.contains(66));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(65));
+  // No phantom bits beyond the universe.
+  EXPECT_EQ(c.to_vector().back(), 65u);
+}
+
+TEST(VertexSet, Equality) {
+  VertexSet a(10, {1});
+  VertexSet b(10, {1});
+  VertexSet c(10, {2});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(VertexSet, WordBoundaryStress) {
+  VertexSet s(256);
+  for (Vertex v = 0; v < 256; v += 2) s.insert(v);
+  EXPECT_EQ(s.count(), 128u);
+  const VertexSet c = s.complement();
+  EXPECT_EQ(c.count(), 128u);
+  for (Vertex v = 0; v < 256; ++v) EXPECT_NE(s.contains(v), c.contains(v));
+}
+
+}  // namespace
+}  // namespace ftspan
