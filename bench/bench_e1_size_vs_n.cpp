@@ -1,4 +1,4 @@
-// E1 — Corollary 2.2 size scaling in n.
+// E1 — Corollary 2.2 size scaling in n, plus conversion-engine throughput.
 //
 // Claim: the conversion applied to the greedy spanner yields an r-fault-
 // tolerant k-spanner of size O(r^{2-2/(k+1)} n^{1+2/(k+1)} log n). We sweep
@@ -6,6 +6,10 @@
 // (should be flat-to-decreasing in n), the empirical log-log slope of size
 // vs n (should not exceed 1 + 2/(k+1) by much once the log n factor is
 // accounted for), and a sampled fault-tolerance validity check.
+//
+// The final section measures the parallel engine (ftspanner/parallel.hpp) on
+// an n >= 2000 instance: wall-clock at 1/2/4/8 threads, the speedup over the
+// sequential path, and a bit-identity check of the edge sets.
 #include <cstdio>
 #include <vector>
 
@@ -14,6 +18,7 @@
 #include "graph/generators.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace ftspan;
@@ -98,6 +103,48 @@ int main() {
                   "(paper exponent %.3f + o(1); m itself grows with slope 2)\n",
                   loglog_slope(xs, ys), 1.0 + 2.0 / (k + 1.0));
     }
+  }
+
+  // ---------------------------------------------------------------------
+  // Parallel-engine throughput: the conversion's iterations are independent,
+  // so wall-clock should drop near-linearly with threads (up to the core
+  // count). The iteration count is pinned so every row does identical work,
+  // and the edge sets are compared against the sequential output — the
+  // engine's determinism contract makes them bit-identical.
+  {
+    const std::size_t n = 2000;
+    const Graph g = gnp(n, 8.0 / static_cast<double>(n), 4242);
+    ConversionOptions base_opt;
+    base_opt.iterations = 48;  // pinned: equal work per row
+    banner("parallel engine: G(2000, 8/n), k = 3, r = 2, alpha = 48");
+    std::printf("hardware threads available: %zu\n",
+                ThreadPool::hardware_threads());
+
+    base_opt.threads = 1;
+    Timer seq_timer;
+    const auto seq = ft_greedy_spanner(g, 3.0, 2, 77, base_opt);
+    const double seq_sec = seq_timer.seconds();
+
+    Table t({"threads", "|H|", "sec", "speedup", "identical to seq"});
+    t.row().cell(1).cell(seq.edges.size()).cell(seq_sec, 3).cell(1.0, 2).cell(
+        "yes");
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      ConversionOptions opt = base_opt;
+      opt.threads = threads;
+      Timer timer;
+      const auto res = ft_greedy_spanner(g, 3.0, 2, 77, opt);
+      const double sec = timer.seconds();
+      t.row()
+          .cell(threads)
+          .cell(res.edges.size())
+          .cell(sec, 3)
+          .cell(seq_sec / sec, 2)
+          .cell(res.edges == seq.edges ? "yes" : "NO");
+    }
+    t.print();
+    std::printf(
+        "Speedup saturates at the machine's core count; per-iteration RNG "
+        "streams keep every row's edge set bit-identical.\n");
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ftspanner/parallel.hpp"
 #include "spanner/greedy.hpp"
 #include "util/rng.hpp"
 
@@ -39,30 +40,38 @@ ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
   const std::size_t alpha =
       options.iterations.value_or(conversion_iterations(r, n, options.iteration_constant));
 
-  Rng rng(seed);
-  std::vector<char> in_spanner(g.num_edges(), 0);
-
   ConversionResult result;
   result.iterations = alpha;
   result.keep_probability = keep;
+  result.threads_used = resolve_threads(options.threads, alpha);
 
-  VertexSet removed(n);
-  for (std::size_t it = 0; it < alpha; ++it) {
-    removed.clear();
-    std::size_t survivors = 0;
+  // Each iteration is seeded by hash_combine(seed, it), so the engine may run
+  // them in any order, on any worker, and still reproduce the sequential
+  // output bit-for-bit (see parallel.hpp). Survivor counts land in distinct
+  // slots of a pre-sized array — no synchronization needed.
+  std::vector<std::size_t> survivors(alpha, 0);
+  const IterationBody body = [&g, &base, &survivors, keep, seed,
+                              n](std::size_t it, std::vector<char>& marks) {
+    Rng rng(hash_combine(seed, it));
+    VertexSet removed(n);
+    std::size_t alive = 0;
     for (Vertex v = 0; v < n; ++v) {
       if (rng.bernoulli(keep))
-        ++survivors;
+        ++alive;
       else
         removed.insert(v);
     }
-    result.max_survivors = std::max(result.max_survivors, survivors);
-    if (survivors < 2) continue;  // nothing to span
-    for (EdgeId id : base(g, &removed, rng())) in_spanner[id] = 1;
-  }
+    survivors[it] = alive;
+    if (alive < 2) return;  // nothing to span
+    for (EdgeId id : base(g, &removed, rng())) marks[id] = 1;
+  };
 
-  for (EdgeId id = 0; id < g.num_edges(); ++id)
-    if (in_spanner[id]) result.edges.push_back(id);
+  // Passing the already-resolved count keeps threads_used exactly what the
+  // engine runs with (resolve_threads is idempotent on its own output).
+  result.edges = marks_to_edges(
+      union_iterations(alpha, result.threads_used, g.num_edges(), body));
+  if (alpha > 0)
+    result.max_survivors = *std::max_element(survivors.begin(), survivors.end());
   return result;
 }
 

@@ -22,7 +22,10 @@ namespace ftspan {
 
 /// A pluggable k-spanner construction: (graph, removed-vertex mask, seed) ->
 /// edge ids of a k-spanner of G \ mask. Randomized bases consume the seed;
-/// deterministic ones ignore it.
+/// deterministic ones ignore it. With ConversionOptions::threads != 1 the
+/// callback is invoked concurrently from multiple workers, so it must be
+/// thread-safe: no mutable state shared across calls (derive all randomness
+/// from the seed argument, keep scratch buffers per call).
 using BaseSpanner = std::function<std::vector<EdgeId>(
     const Graph&, const VertexSet*, std::uint64_t)>;
 
@@ -37,6 +40,14 @@ struct ConversionOptions {
   /// Ablation A2: vertex keep-probability = scale * (1/r), clamped to (0,1].
   /// The paper's choice is scale = 1.
   double keep_probability_scale = 1.0;
+
+  /// Worker threads for the iteration fan-out (see ftspanner/parallel.hpp).
+  /// 1 = in-thread sequential loop; 0 = all hardware threads (capped at
+  /// kMaxConversionThreads). Every value yields a bit-identical edge set for
+  /// the same seed — iterations draw from per-iteration RNG streams, not a
+  /// shared sequential stream. With threads != 1 the BaseSpanner callback
+  /// must be safe to invoke concurrently.
+  std::size_t threads = 1;
 };
 
 struct ConversionResult {
@@ -44,6 +55,7 @@ struct ConversionResult {
   std::size_t iterations = 0;     ///< alpha actually used
   std::size_t max_survivors = 0;  ///< largest |V \ J| over iterations
   double keep_probability = 0;    ///< per-vertex survival probability used
+  std::size_t threads_used = 1;   ///< workers the engine actually ran with
 };
 
 /// Number of iterations alpha = ceil(c * max(r,1)^3 * ln n) used by the

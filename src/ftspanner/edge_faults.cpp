@@ -6,6 +6,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "ftspanner/parallel.hpp"
 #include "ftspanner/validate.hpp"  // count_fault_sets (C(m, <=r) reuse)
 #include "spanner/greedy.hpp"
 #include "util/rng.hpp"
@@ -123,9 +124,13 @@ EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
   out.iterations = options.iterations.value_or(
       edge_conversion_iterations(r, n, options.iteration_constant));
 
-  Rng rng(seed);
-  std::vector<char> in_spanner(m, 0);
-  for (std::size_t it = 0; it < out.iterations; ++it) {
+  out.threads_used = resolve_threads(options.threads, out.iterations);
+
+  // Per-iteration RNG streams (hash_combine(seed, it)) keep the fan-out
+  // schedule-independent; see parallel.hpp for the determinism contract.
+  const IterationBody body = [&g, k, keep, seed, n,
+                              m](std::size_t it, std::vector<char>& marks) {
+    Rng rng(hash_combine(seed, it));
     // Survivor subgraph: alive edges, same vertex ids; remember the mapping
     // from the subgraph's (dense) edge ids back to g's.
     Graph sub(n);
@@ -137,11 +142,11 @@ EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
       sub.add_edge(e.u, e.v, e.w);
       back.push_back(id);
     }
-    for (EdgeId sub_id : greedy_spanner(sub, k)) in_spanner[back[sub_id]] = 1;
-  }
+    for (EdgeId sub_id : greedy_spanner(sub, k)) marks[back[sub_id]] = 1;
+  };
 
-  for (EdgeId id = 0; id < m; ++id)
-    if (in_spanner[id]) out.edges.push_back(id);
+  out.edges = marks_to_edges(
+      union_iterations(out.iterations, out.threads_used, m, body));
   return out;
 }
 

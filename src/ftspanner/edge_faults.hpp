@@ -24,12 +24,19 @@ namespace ftspan {
 struct EdgeFtOptions {
   double iteration_constant = 1.0;
   std::optional<std::size_t> iterations;
+
+  /// Worker threads for the iteration fan-out (see ftspanner/parallel.hpp).
+  /// 1 = in-thread sequential loop; 0 = all hardware threads (capped at
+  /// kMaxConversionThreads). Every value yields a bit-identical edge set for
+  /// the same seed.
+  std::size_t threads = 1;
 };
 
 struct EdgeFtResult {
   std::vector<EdgeId> edges;
   std::size_t iterations = 0;
   double keep_probability = 0;
+  std::size_t threads_used = 1;  ///< workers the engine actually ran with
 };
 
 /// α = ceil(c (r+2) ln n / (keep (1-keep)^r)).

@@ -1,0 +1,56 @@
+#include "ftspanner/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
+namespace ftspan {
+
+std::size_t resolve_threads(std::size_t requested, std::size_t iterations) {
+  std::size_t t = requested == 0 ? ThreadPool::hardware_threads() : requested;
+  t = std::min(t, std::max<std::size_t>(iterations, 1));
+  return std::clamp<std::size_t>(t, 1, kMaxConversionThreads);
+}
+
+std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
+                                   std::size_t num_edges,
+                                   const IterationBody& body) {
+  const std::size_t workers = resolve_threads(threads, iterations);
+
+  if (workers == 1) {
+    std::vector<char> marks(num_edges, 0);
+    for (std::size_t it = 0; it < iterations; ++it) body(it, marks);
+    return marks;
+  }
+
+  std::vector<std::vector<char>> buffers(workers,
+                                         std::vector<char>(num_edges, 0));
+  std::atomic<std::size_t> next{0};
+  {
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.submit([&buffers, &next, &body, iterations, w] {
+        std::vector<char>& marks = buffers[w];
+        for (std::size_t it = next.fetch_add(1, std::memory_order_relaxed);
+             it < iterations;
+             it = next.fetch_add(1, std::memory_order_relaxed))
+          body(it, marks);
+      });
+    pool.wait_idle();
+  }
+
+  std::vector<char> out = std::move(buffers[0]);
+  for (std::size_t w = 1; w < workers; ++w)
+    for (std::size_t i = 0; i < num_edges; ++i) out[i] |= buffers[w][i];
+  return out;
+}
+
+std::vector<EdgeId> marks_to_edges(const std::vector<char>& marks) {
+  std::vector<EdgeId> edges;
+  for (std::size_t id = 0; id < marks.size(); ++id)
+    if (marks[id]) edges.push_back(static_cast<EdgeId>(id));
+  return edges;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,109 @@
+// A minimal fixed-size thread pool.
+//
+// Built for the conversion engine in ftspanner/parallel.cpp: the Θ(r³ log n)
+// sampling iterations of Theorem 2.1 are independent, so workers pull
+// iteration indices from a shared counter and the pool only needs submit()
+// plus a barrier. Exceptions thrown by a job are captured and rethrown from
+// wait_idle() on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ftspan {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads) {
+    workers_.reserve(std::max<std::size_t>(threads, 1));
+    for (std::size_t i = 0; i < std::max<std::size_t>(threads, 1); ++i)
+      workers_.emplace_back([this] { work(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job. Jobs must not submit to the same pool they run on
+  /// (wait_idle() would be allowed to return between the parent finishing
+  /// and the child being queued).
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push(std::move(job));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished. Rethrows the first
+  /// exception any job raised (the remaining jobs still run to completion).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+    if (failure_) {
+      std::exception_ptr e = failure_;
+      failure_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  /// The machine's hardware concurrency, never reported as 0.
+  static std::size_t hardware_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+  }
+
+ private:
+  void work() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stop_ set and queue drained
+        job = std::move(jobs_.front());
+        jobs_.pop();
+        ++active_;
+      }
+      try {
+        job();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!failure_) failure_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+        if (jobs_.empty() && active_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> jobs_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr failure_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ftspan

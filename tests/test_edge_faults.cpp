@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "graph/generators.hpp"
 #include "spanner/greedy.hpp"
 
@@ -13,6 +15,53 @@ TEST(EdgeConversionIterations, Formula) {
   EXPECT_EQ(edge_conversion_iterations(1, 100, 1.0), 56u);
   // Scales with c.
   EXPECT_EQ(edge_conversion_iterations(1, 100, 2.0), 111u);
+}
+
+TEST(EdgeConversionIterations, R1UsesKeepHalf) {
+  // The r = 1 special case pins keep = 1/2 (not 1/1, which would make the
+  // success probability q = keep (1-keep)^r collapse to 0). With keep = 1/2,
+  // alpha = ceil(c (r+2) ln n / (1/2 * (1/2)^1)) = ceil(4 c * 3 ln n).
+  const double expected = std::ceil(4.0 * 3.0 * std::log(1000.0));
+  EXPECT_EQ(edge_conversion_iterations(1, 1000, 1.0),
+            static_cast<std::size_t>(expected));
+  // r = 0 is clamped to r = 1 by the formula (the conversion itself rejects
+  // r = 0 before ever computing alpha).
+  EXPECT_EQ(edge_conversion_iterations(0, 1000, 1.0),
+            edge_conversion_iterations(1, 1000, 1.0));
+}
+
+TEST(EdgeConversionIterations, LargeRGrowsQuadratically) {
+  // For r >= 2, q = (1/r)(1-1/r)^r -> 1/(e r), so alpha ~ c (r+2) ln n * e r
+  // grows ~ r²: doubling r multiplies alpha by ~4 (within the drift of
+  // (1-1/r)^r towards 1/e and the ceil).
+  const std::size_t a32 = edge_conversion_iterations(32, 4096, 1.0);
+  const std::size_t a64 = edge_conversion_iterations(64, 4096, 1.0);
+  const std::size_t a128 = edge_conversion_iterations(128, 4096, 1.0);
+  EXPECT_LT(a32, a64);
+  EXPECT_LT(a64, a128);
+  const double r64 = static_cast<double>(a64) / static_cast<double>(a32);
+  const double r128 = static_cast<double>(a128) / static_cast<double>(a64);
+  EXPECT_GT(r64, 3.4);
+  EXPECT_LT(r64, 4.6);
+  EXPECT_GT(r128, 3.4);
+  EXPECT_LT(r128, 4.6);
+}
+
+TEST(EdgeConversionIterations, ScalesLinearlyInC) {
+  // alpha is ceil(c * X): c = 10 gives 10x (up to the two ceils), and more
+  // iterations for larger c always.
+  const std::size_t base = edge_conversion_iterations(3, 500, 1.0);
+  const std::size_t ten = edge_conversion_iterations(3, 500, 10.0);
+  EXPECT_GE(ten, 10 * (base - 1));
+  EXPECT_LE(ten, 10 * base);
+  EXPECT_LT(edge_conversion_iterations(3, 500, 0.1), base);
+}
+
+TEST(EdgeConversionIterations, MonotoneInN) {
+  EXPECT_LT(edge_conversion_iterations(2, 100, 1.0),
+            edge_conversion_iterations(2, 10000, 1.0));
+  // n <= 2 is clamped so alpha never vanishes.
+  EXPECT_GE(edge_conversion_iterations(2, 0, 1.0), 1u);
 }
 
 TEST(EdgeFt, RejectsR0) {

@@ -2,12 +2,17 @@
 //
 //   ftspan_cli gen <gnp|grid|geometric|complete> <args...> -o graph.txt
 //   ftspan_cli spanner   -i graph.txt -k K [--algo greedy|bs|tz] [-o out.txt]
-//   ftspan_cli ft        -i graph.txt -k K -r R [-c CONST] [-o out.txt]
+//   ftspan_cli ft        -i graph.txt -k K -r R [-c CONST] [--threads T]
+//   ftspan_cli ftedge    -i graph.txt -k K -r R [-c CONST] [--threads T]
 //   ftspan_cli ft2       -i digraph.txt -r R            (directed 2-spanner)
 //   ftspan_cli verify    -i graph.txt -s spanner.txt -k K [-r R] [--exact]
 //   ftspan_cli selftest                                  (used by ctest)
+//   ftspan_cli help                                      (full usage text)
 //
 // Graph files use the library's edge-list format (see src/graph/io.hpp).
+// `--threads T` fans the conversion's sampling iterations across T worker
+// threads (0 = all hardware threads); the output edge set is bit-identical
+// to --threads 1 for the same seed (see src/ftspanner/parallel.hpp).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "ftspanner/conversion.hpp"
+#include "ftspanner/edge_faults.hpp"
 #include "ftspanner/validate.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -64,18 +70,71 @@ Args parse(int argc, char** argv, int from) {
   return a;
 }
 
+/// Full usage text; printed to `out` (stderr on a parse error, stdout for
+/// the `help` subcommand / --help). Covers every subcommand and flag.
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+      "ftspan_cli — fault-tolerant spanners (Dinitz–Krauthgamer, PODC 2011)\n"
+      "\n"
+      "usage: ftspan_cli <subcommand> [options]\n"
+      "\n"
+      "subcommands:\n"
+      "  gen gnp N P          random G(n, p) graph\n"
+      "  gen grid ROWS COLS   ROWS x COLS grid graph\n"
+      "  gen geometric N R    random geometric graph, connect radius R\n"
+      "  gen complete N       complete graph K_N\n"
+      "      common gen options: [--seed S] [-o FILE]\n"
+      "      without -o the graph is written to stdout (edge-list format,\n"
+      "      see src/graph/io.hpp)\n"
+      "\n"
+      "  spanner              plain k-spanner of an input graph\n"
+      "      -i FILE          input graph (required)\n"
+      "      -k K             stretch, default 3\n"
+      "      --algo A         greedy | bs (Baswana–Sen) | tz (Thorup–Zwick)\n"
+      "      --seed S         RNG seed for randomized algorithms, default 1\n"
+      "      -o FILE          write the spanner as a graph file\n"
+      "\n"
+      "  ft                   r-VERTEX-fault-tolerant k-spanner (Theorem 2.1\n"
+      "                       conversion over the greedy spanner)\n"
+      "      -i FILE          input graph (required)\n"
+      "      -k K             stretch, default 3\n"
+      "      -r R             fault tolerance, default 1 (R >= 1)\n"
+      "      -c CONST         iteration constant c in alpha = c(r+2)ln(n)/q,\n"
+      "                       default 1 (the proof constant; A1 shows smaller\n"
+      "                       values usually suffice)\n"
+      "      --threads T      fan iterations across T workers; 0 = all\n"
+      "                       hardware threads, default 1. Output is\n"
+      "                       bit-identical for every T given the same seed.\n"
+      "      --seed S         RNG seed, default 1\n"
+      "      -o FILE          write the spanner as a graph file\n"
+      "\n"
+      "  ftedge               r-EDGE-fault-tolerant k-spanner (the edge-fault\n"
+      "                       variant of the conversion); same options as ft\n"
+      "\n"
+      "  ft2                  min-cost r-fault-tolerant 2-spanner of a DIRECTED\n"
+      "                       graph (Section 3: LP rounding, O(r log n) approx)\n"
+      "      -i FILE          input digraph (required)\n"
+      "      -r R             fault tolerance, default 1\n"
+      "      --seed S         RNG seed, default 1\n"
+      "      -o FILE          write the 2-spanner as a digraph file\n"
+      "\n"
+      "  verify               check a (fault-tolerant) spanner\n"
+      "      -i FILE          original graph (required)\n"
+      "      -s FILE          candidate spanner (required)\n"
+      "      -k K             stretch to check, default 3\n"
+      "      -r R             fault tolerance; 0 (default) = plain stretch\n"
+      "      --exact          enumerate all fault sets of size <= R instead\n"
+      "                       of the sampled + adversarial check\n"
+      "\n"
+      "  selftest             gen -> ft -> exact-verify round trip (ctest)\n"
+      "  help                 print this text\n"
+      "\n"
+      "exit status: 0 on success / valid, 1 on failure / invalid, 2 on usage\n"
+      "errors.\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  ftspan_cli gen gnp N P [--seed S] [-o FILE]\n"
-               "  ftspan_cli gen grid ROWS COLS [-o FILE]\n"
-               "  ftspan_cli gen geometric N RADIUS [--seed S] [-o FILE]\n"
-               "  ftspan_cli gen complete N [-o FILE]\n"
-               "  ftspan_cli spanner -i FILE -k K [--algo greedy|bs|tz] [-o FILE]\n"
-               "  ftspan_cli ft -i FILE -k K -r R [-c CONST] [-o FILE]\n"
-               "  ftspan_cli ft2 -i FILE -r R [-o FILE]   (directed input)\n"
-               "  ftspan_cli verify -i FILE -s FILE -k K [-r R] [--exact]\n"
-               "  ftspan_cli selftest\n");
+  print_usage(stderr);
   return 2;
 }
 
@@ -139,24 +198,67 @@ int cmd_spanner(const Args& a) {
   return 0;
 }
 
-int cmd_ft(const Args& a) {
+/// Shared driver for `ft` and `ftedge`: parse the common flags, run the
+/// conversion, sampled-check the result, print the summary line, emit -o,
+/// and map validity to the exit status. `edge_faults` selects the fault
+/// model (and the matching checker).
+int run_ft_conversion(const Args& a, bool edge_faults) {
   const std::string in = a.get("i");
   if (in.empty()) return usage();
   const Graph g = load_graph(in);
   const double k = a.num("k", 3.0);
   const std::size_t r = static_cast<std::size_t>(a.num("r", 1));
-  ConversionOptions opt;
-  opt.iteration_constant = a.num("c", 1.0);
-  const auto res =
-      ft_greedy_spanner(g, k, r, static_cast<std::uint64_t>(a.num("seed", 1)), opt);
-  const Graph h = g.edge_subgraph(res.edges);
-  const auto check = check_ft_spanner_sampled(g, h, k, r, 40, 60, 99);
-  std::printf("%zu-fault-tolerant %g-spanner: %zu -> %zu edges "
-              "(%zu iterations); sampled check: %s (worst stretch %.3f)\n",
-              r, k, g.num_edges(), h.num_edges(), res.iterations,
-              check.valid ? "valid" : "INVALID", check.worst_stretch);
-  emit(h, a.get("o"));
-  return check.valid ? 0 : 1;
+  const double c = a.num("c", 1.0);
+  const std::size_t threads = static_cast<std::size_t>(a.num("threads", 1));
+  const std::uint64_t seed = static_cast<std::uint64_t>(a.num("seed", 1));
+
+  // One branch per fault model: run the conversion and its matching sampled
+  // checker, landing in a model-agnostic summary.
+  struct Summary {
+    Graph h;
+    std::size_t iterations = 0;
+    std::size_t threads_used = 1;
+    bool valid = false;
+    double worst_stretch = 0;
+  };
+  Summary s;
+  if (edge_faults) {
+    EdgeFtOptions opt;
+    opt.iteration_constant = c;
+    opt.threads = threads;
+    const auto res = ft_edge_greedy_spanner(g, k, r, seed, opt);
+    Graph h = g.edge_subgraph(res.edges);
+    const auto check = check_edge_ft_spanner_sampled(g, h, k, r, 40, 60, 99);
+    s = {std::move(h), res.iterations, res.threads_used, check.valid,
+         check.worst_stretch};
+  } else {
+    ConversionOptions opt;
+    opt.iteration_constant = c;
+    opt.threads = threads;
+    const auto res = ft_greedy_spanner(g, k, r, seed, opt);
+    Graph h = g.edge_subgraph(res.edges);
+    const auto check = check_ft_spanner_sampled(g, h, k, r, 40, 60, 99);
+    s = {std::move(h), res.iterations, res.threads_used, check.valid,
+         check.worst_stretch};
+  }
+  std::printf("%zu-%sfault-tolerant %g-spanner: %zu -> %zu edges "
+              "(%zu iterations, %zu threads); sampled check: %s "
+              "(worst stretch %.3f)\n",
+              r, edge_faults ? "edge-" : "", k, g.num_edges(),
+              s.h.num_edges(), s.iterations, s.threads_used,
+              s.valid ? "valid" : "INVALID", s.worst_stretch);
+  emit(s.h, a.get("o"));
+  return s.valid ? 0 : 1;
+}
+
+/// `ft` — the vertex-fault conversion of Theorem 2.1 over the greedy
+/// spanner, followed by a sampled fault-tolerance check of the output.
+int cmd_ft(const Args& a) { return run_ft_conversion(a, /*edge_faults=*/false); }
+
+/// `ftedge` — the edge-fault variant of the conversion, checked with the
+/// sampled + adversarial edge-fault checker.
+int cmd_ftedge(const Args& a) {
+  return run_ft_conversion(a, /*edge_faults=*/true);
 }
 
 int cmd_ft2(const Args& a) {
@@ -241,11 +343,21 @@ int cmd_selftest() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  // `help` as a subcommand, or --help/-h anywhere (e.g. `ftspan_cli ft
+  // --help`), prints the full usage to stdout.
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    if ((i == 1 && s == "help") || s == "--help" || s == "-h") {
+      print_usage(stdout);
+      return 0;
+    }
+  }
   const Args a = parse(argc, argv, 2);
   try {
     if (cmd == "gen") return cmd_gen(a);
     if (cmd == "spanner") return cmd_spanner(a);
     if (cmd == "ft") return cmd_ft(a);
+    if (cmd == "ftedge") return cmd_ftedge(a);
     if (cmd == "ft2") return cmd_ft2(a);
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "selftest") return cmd_selftest();
