@@ -1,0 +1,171 @@
+// E11 — validation throughput: the StretchOracle vs the per-pair path.
+//
+// The pre-oracle validators ran one Dijkstra pair per *pair* (edge) per
+// fault set. The oracle runs one source-batched Dijkstra pair per
+// spanner-edge endpoint, bounds the G-side run by the largest incident edge
+// length, early-exits both runs once every incident target is settled, and
+// reuses epoch-stamped scratch across fault sets. This bench times both on
+// the same fault-set stream (so worst stretch must match exactly) and then
+// shows the thread fan-out.
+//
+//   $ ./bench_e11_validation_throughput [n] [p] [r] [trials]
+//
+// Acceptance (ISSUE 3): oracle >= 5x faster than the per-pair path at one
+// thread on gnp(400, 0.05), r = 2, with identical worst_stretch.
+#include <cstdio>
+#include <cstdlib>
+
+#include "ftspanner/validate.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "spanner/greedy.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ftspan;
+
+namespace {
+
+/// The pre-oracle formulation: per fault set, one full Dijkstra pair per
+/// surviving edge, fresh allocations every run. Consumes the same per-trial
+/// RNG streams as StretchOracle::check_sampled's random trials, so the
+/// fault-set stream — and therefore the worst stretch — matches the oracle
+/// exactly.
+FtCheckResult per_pair_reference(const Graph& g, const Graph& h, double k,
+                                 std::size_t r, std::size_t trials,
+                                 std::uint64_t seed) {
+  const std::size_t n = g.num_vertices();
+  FtCheckResult out;
+  out.witness_faults = VertexSet(n);
+  const std::size_t fault_size =
+      std::min(r, n >= 2 ? n - 2 : std::size_t{0});
+  std::vector<Vertex> pool;
+  VertexSet faults(n);
+  for (std::size_t t = 0; t < trials; ++t) {
+    Rng rng(hash_combine(seed, t));
+    sample_fault_set(rng, fault_size, pool, faults);
+    ++out.fault_sets_checked;
+    for (const Edge& e : g.edges()) {
+      if (faults.contains(e.u) || faults.contains(e.v)) continue;
+      const auto dg = dijkstra(g, e.u, &faults);  // one full run per PAIR
+      const auto dh = dijkstra(h, e.u, &faults);
+      if (!dg.reachable(e.v) || dg.dist[e.v] <= 0) continue;
+      const double stretch = dh.reachable(e.v)
+                                 ? dh.dist[e.v] / dg.dist[e.v]
+                                 : kInfiniteWeight;
+      out.consider(stretch, faults, e.u, e.v, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  const double p = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
+  const std::size_t r = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 2;
+  const std::size_t trials =
+      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 12;
+  const double k = 3.0;
+  const std::uint64_t seed = 1;
+
+  std::printf("# E11: validation throughput — StretchOracle vs per-pair\n");
+  const Graph g = gnp(n, p, seed);
+  const Graph h = greedy_spanner_graph(g, k);
+  std::printf("\ngraph: gnp(n=%zu, p=%g) -> m=%zu; greedy %g-spanner: %zu "
+              "edges; r=%zu, %zu random fault sets\n",
+              n, p, g.num_edges(), k, h.num_edges(), r, trials);
+
+  {
+    banner("sampled check at 1 thread (identical fault-set stream)");
+    const StretchOracle oracle(g, h, k);
+
+    Timer t1;
+    const FtCheckResult ref = per_pair_reference(g, h, k, r, trials, seed);
+    const double ms_ref = t1.millis();
+
+    FtCheckOptions opt;
+    opt.threads = 1;
+    Timer t2;
+    const FtCheckResult ora =
+        oracle.check_sampled(r, trials, /*adversarial_edges=*/0, seed, opt);
+    const double ms_ora = t2.millis();
+
+    Table t({"validator", "fault sets", "ms", "sets/s", "worst stretch"});
+    t.row()
+        .cell("per-pair (pre-oracle)")
+        .cell(ref.fault_sets_checked)
+        .cell(ms_ref, 1)
+        .cell(ref.fault_sets_checked / (ms_ref / 1e3), 1)
+        .cell(ref.worst_stretch, 4);
+    t.row()
+        .cell("StretchOracle")
+        .cell(ora.fault_sets_checked)
+        .cell(ms_ora, 1)
+        .cell(ora.fault_sets_checked / (ms_ora / 1e3), 1)
+        .cell(ora.worst_stretch, 4);
+    t.print();
+
+    const double speedup = ms_ref / ms_ora;
+    const bool same = ref.worst_stretch == ora.worst_stretch;
+    std::printf("\nspeedup: %.1fx; worst-stretch self-check: %s\n", speedup,
+                same ? "IDENTICAL (pass)" : "MISMATCH (FAIL)");
+    if (!same || speedup < 5.0) {
+      std::printf("acceptance FAILED (need identical stretch and >= 5x)\n");
+      return 1;
+    }
+  }
+
+  {
+    banner("full sampled check (random + adversarial), oracle only");
+    const StretchOracle oracle(g, h, k);
+    Timer t;
+    const FtCheckResult res =
+        oracle.check_sampled(r, trials, /*adversarial_edges=*/trials, seed);
+    std::printf("%zu fault sets in %.1f ms (%s, worst stretch %.4f)\n",
+                res.fault_sets_checked, t.millis(),
+                res.valid ? "valid" : "INVALID", res.worst_stretch);
+  }
+
+  {
+    banner("thread fan-out (bit-identical result at every width)");
+    const StretchOracle oracle(g, h, k);
+    FtCheckOptions seq;
+    seq.threads = 1;
+    const FtCheckResult base =
+        oracle.check_sampled(r, trials, trials, seed, seq);
+    Table t({"threads", "ms", "speedup", "bit-identical"});
+    double ms1 = 0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      FtCheckOptions opt;
+      opt.threads = threads;
+      Timer timer;
+      const FtCheckResult res =
+          oracle.check_sampled(r, trials, trials, seed, opt);
+      const double ms = timer.millis();
+      if (threads == 1) ms1 = ms;
+      const bool same = res.valid == base.valid &&
+                        res.worst_stretch == base.worst_stretch &&
+                        res.witness_faults == base.witness_faults &&
+                        res.witness_u == base.witness_u &&
+                        res.witness_v == base.witness_v;
+      t.row()
+          .cell(threads)
+          .cell(ms, 1)
+          .cell(ms1 / ms, 2)
+          .cell(same ? "yes" : "NO");
+      if (!same) {
+        t.print();
+        std::printf("\ndeterminism FAILED at %zu threads\n", threads);
+        return 1;
+      }
+    }
+    t.print();
+    std::printf(
+        "\nReading: the oracle turns one Dijkstra pair per pair into one per "
+        "endpoint (bounded + early-exit + reused scratch), and the fault-set "
+        "fan-out adds wall-clock speedup without changing a single bit.\n");
+  }
+  return 0;
+}

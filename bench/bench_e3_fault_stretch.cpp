@@ -10,10 +10,10 @@
 
 #include "ftspanner/baselines.hpp"
 #include "ftspanner/conversion.hpp"
-#include "ftspanner/validate.hpp"
 #include "graph/generators.hpp"
 #include "spanner/greedy.hpp"
 #include "util/table.hpp"
+#include "validate/stretch_oracle.hpp"
 
 using namespace ftspan;
 
@@ -21,9 +21,11 @@ namespace {
 
 void report(const char* name, const Graph& g, const Graph& h, double k,
             std::size_t r, Table& t, bool exact) {
+  // One oracle per (g, h): every fault set below shares its batched
+  // Dijkstras and epoch-stamped scratch.
+  const StretchOracle oracle(g, h, k);
   const FtCheckResult check =
-      exact ? check_ft_spanner_exact(g, h, k, r)
-            : check_ft_spanner_sampled(g, h, k, r, 40, 60, 99);
+      exact ? oracle.check_exact(r) : oracle.check_sampled(r, 40, 60, 99);
   t.row()
       .cell(name)
       .cell(h.num_edges())

@@ -1,112 +1,35 @@
 #include "ftspanner/validate.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <stdexcept>
-#include <vector>
-
-#include "graph/shortest_paths.hpp"
-#include "spanner/verify.hpp"
-#include "util/rng.hpp"
-
 namespace ftspan {
 
-void FtCheckResult::consider(double stretch, const VertexSet& faults, Vertex u,
-                             Vertex v, double k) {
-  if (stretch > worst_stretch) {
-    worst_stretch = stretch;
-    witness_faults = faults;
-    witness_u = u;
-    witness_v = v;
-  }
-  if (stretch > k * (1 + 1e-9)) valid = false;
+FtCheckResult check_ft_spanner_exact(const Graph& g, const Graph& h, double k,
+                                     std::size_t r,
+                                     const FtCheckOptions& options) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t count = count_fault_sets(n, r);
+  if (count > options.max_fault_sets)
+    throw_fault_set_overflow("check_ft_spanner_exact", n, r, count,
+                             options.max_fault_sets);
+  return StretchOracle(g, h, k).check_exact(r, options);
 }
-
-std::size_t count_fault_sets(std::size_t n, std::size_t r) {
-  constexpr std::size_t kCap = std::numeric_limits<std::size_t>::max() / 4;
-  std::size_t total = 0;
-  for (std::size_t size = 0; size <= r && size <= n; ++size) {
-    // C(n, size), saturating.
-    std::size_t c = 1;
-    for (std::size_t i = 0; i < size; ++i) {
-      if (c > kCap / (n - i)) return kCap;
-      c = c * (n - i) / (i + 1);
-    }
-    if (total > kCap - c) return kCap;
-    total += c;
-  }
-  return total;
-}
-
-namespace {
-
-/// Worst stretch over surviving edges for one fixed fault set.
-void check_one_fault_set(const Graph& g, const Graph& h, double k,
-                         const VertexSet& faults, FtCheckResult& out) {
-  ++out.fault_sets_checked;
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    if (faults.contains(u)) continue;
-    bool relevant = false;
-    for (const Arc& a : g.neighbors(u))
-      if (a.to > u && !faults.contains(a.to)) {
-        relevant = true;
-        break;
-      }
-    if (!relevant) continue;
-    const auto dg = dijkstra(g, u, &faults);
-    const auto dh = dijkstra(h, u, &faults);
-    for (const Arc& a : g.neighbors(u)) {
-      if (a.to < u || faults.contains(a.to)) continue;
-      if (!dg.reachable(a.to) || dg.dist[a.to] <= 0) continue;
-      const double stretch = dh.reachable(a.to)
-                                 ? dh.dist[a.to] / dg.dist[a.to]
-                                 : std::numeric_limits<double>::infinity();
-      out.consider(stretch, faults, u, a.to, k);
-    }
-  }
-}
-
-}  // namespace
 
 FtCheckResult check_ft_spanner_exact(const Graph& g, const Graph& h, double k,
                                      std::size_t r,
                                      std::size_t max_fault_sets) {
-  const std::size_t n = g.num_vertices();
-  if (count_fault_sets(n, r) > max_fault_sets)
-    throw std::runtime_error(
-        "check_ft_spanner_exact: too many fault sets; use the sampled check");
+  FtCheckOptions options;
+  options.max_fault_sets = max_fault_sets;
+  return check_ft_spanner_exact(g, h, k, r, options);
+}
 
-  FtCheckResult out;
-  out.witness_faults = VertexSet(n);
-
-  // Enumerate subsets of size exactly `size` for size = 0..r via the
-  // standard lexicographic combination walk.
-  for (std::size_t size = 0; size <= std::min(r, n); ++size) {
-    std::vector<Vertex> comb(size);
-    for (std::size_t i = 0; i < size; ++i) comb[i] = static_cast<Vertex>(i);
-    while (true) {
-      VertexSet faults(n);
-      for (Vertex v : comb) faults.insert(v);
-      check_one_fault_set(g, h, k, faults, out);
-
-      // Advance to next combination.
-      if (size == 0) break;
-      std::size_t i = size;
-      while (i > 0) {
-        --i;
-        if (comb[i] != static_cast<Vertex>(n - size + i)) break;
-        if (i == 0) {
-          i = size;  // done
-          break;
-        }
-      }
-      if (i == size) break;
-      ++comb[i];
-      for (std::size_t j = i + 1; j < size; ++j)
-        comb[j] = static_cast<Vertex>(comb[j - 1] + 1);
-    }
-  }
-  return out;
+FtCheckResult check_ft_spanner_sampled(const Graph& g, const Graph& h,
+                                       double k, std::size_t r,
+                                       std::size_t random_trials,
+                                       std::size_t adversarial_edges,
+                                       std::uint64_t seed,
+                                       const FtCheckOptions& options) {
+  return StretchOracle(g, h, k).check_sampled(r, random_trials,
+                                              adversarial_edges, seed,
+                                              options);
 }
 
 FtCheckResult check_ft_spanner_sampled(const Graph& g, const Graph& h,
@@ -114,53 +37,8 @@ FtCheckResult check_ft_spanner_sampled(const Graph& g, const Graph& h,
                                        std::size_t random_trials,
                                        std::size_t adversarial_edges,
                                        std::uint64_t seed) {
-  const std::size_t n = g.num_vertices();
-  Rng rng(seed);
-  FtCheckResult out;
-  out.witness_faults = VertexSet(n);
-
-  // Uniform random fault sets of size min(r, n-2).
-  const std::size_t fault_size = std::min(r, n >= 2 ? n - 2 : std::size_t{0});
-  std::vector<Vertex> pool(n);
-  for (Vertex v = 0; v < n; ++v) pool[v] = v;
-  for (std::size_t t = 0; t < random_trials; ++t) {
-    rng.shuffle(pool);
-    VertexSet faults(n);
-    for (std::size_t i = 0; i < fault_size; ++i) faults.insert(pool[i]);
-    check_one_fault_set(g, h, k, faults, out);
-  }
-
-  // Targeted adversary: for a random surviving edge (u, v), repeatedly fail
-  // an interior vertex of H's current shortest u-v path (up to r faults),
-  // then evaluate that pair under the final fault set.
-  if (g.num_edges() > 0) {
-    for (std::size_t t = 0; t < adversarial_edges; ++t) {
-      const EdgeId id = static_cast<EdgeId>(rng.uniform_index(g.num_edges()));
-      const Edge& e = g.edge(id);
-      VertexSet faults(n);
-      for (std::size_t step = 0; step < r; ++step) {
-        const auto dh = dijkstra(h, e.u, &faults);
-        if (!dh.reachable(e.v)) break;  // already disconnected in H \ F
-        // Walk the H-path from v back to u; collect interior vertices.
-        std::vector<Vertex> interior;
-        for (Vertex x = dh.parent[e.v]; x != kInvalidVertex && x != e.u;
-             x = dh.parent[x])
-          interior.push_back(x);
-        if (interior.empty()) break;  // direct edge in H; cannot be attacked
-        faults.insert(interior[rng.uniform_index(interior.size())]);
-      }
-      ++out.fault_sets_checked;
-      const auto dg = dijkstra(g, e.u, &faults);
-      const auto dh = dijkstra(h, e.u, &faults);
-      if (faults.contains(e.u) || faults.contains(e.v)) continue;
-      if (!dg.reachable(e.v) || dg.dist[e.v] <= 0) continue;
-      const double stretch = dh.reachable(e.v)
-                                 ? dh.dist[e.v] / dg.dist[e.v]
-                                 : std::numeric_limits<double>::infinity();
-      out.consider(stretch, faults, e.u, e.v, k);
-    }
-  }
-  return out;
+  return check_ft_spanner_sampled(g, h, k, r, random_trials,
+                                  adversarial_edges, seed, FtCheckOptions{});
 }
 
 }  // namespace ftspan

@@ -1,35 +1,35 @@
-// Fault-tolerance validators for k-spanners.
+// Fault-tolerance validators for k-spanners — thin wrappers over the
+// batched StretchOracle (src/validate/stretch_oracle.hpp).
 //
 // Exact validation enumerates every fault set F with |F| <= r (feasible when
 // C(n, r) is small); sampled validation draws random fault sets and also
 // runs a targeted adversary that repeatedly fails interior vertices of the
 // spanner's current shortest path between an edge's endpoints — the most
-// damaging vertices for that pair.
+// damaging vertices for that pair. Per fault set the oracle runs one
+// source-batched Dijkstra pair per spanner-edge endpoint (not one per pair),
+// reuses epoch-stamped scratch across fault sets, and fans independent fault
+// sets across FtCheckOptions::threads workers with a thread-count-invariant
+// worst witness.
+//
+// FtCheckResult, FtCheckOptions, and count_fault_sets live in
+// validate/stretch_oracle.hpp and are re-exported here for the validators'
+// historical call sites.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "graph/graph.hpp"
+#include "validate/stretch_oracle.hpp"
 
 namespace ftspan {
 
-struct FtCheckResult {
-  bool valid = true;
-  double worst_stretch = 1.0;          ///< max observed d_H\F / d_G\F
-  VertexSet witness_faults;            ///< fault set achieving worst_stretch
-  Vertex witness_u = kInvalidVertex;   ///< violated / worst pair
-  Vertex witness_v = kInvalidVertex;
-  std::size_t fault_sets_checked = 0;
-
-  /// Records (F, u, v, stretch) if it is worse than the current worst.
-  void consider(double stretch, const VertexSet& faults, Vertex u, Vertex v,
-                double k);
-};
-
 /// Exact check: h is an r-fault-tolerant k-spanner of g?
 /// Enumerates all fault sets of size exactly 0..r; throws std::runtime_error
-/// if the number of fault sets exceeds `max_fault_sets`.
+/// (reporting n, r, and the computed fault-set count) if the number of fault
+/// sets exceeds options.max_fault_sets.
+FtCheckResult check_ft_spanner_exact(const Graph& g, const Graph& h, double k,
+                                     std::size_t r,
+                                     const FtCheckOptions& options);
 FtCheckResult check_ft_spanner_exact(const Graph& g, const Graph& h, double k,
                                      std::size_t r,
                                      std::size_t max_fault_sets = 2'000'000);
@@ -42,9 +42,12 @@ FtCheckResult check_ft_spanner_sampled(const Graph& g, const Graph& h,
                                        double k, std::size_t r,
                                        std::size_t random_trials,
                                        std::size_t adversarial_edges,
+                                       std::uint64_t seed,
+                                       const FtCheckOptions& options);
+FtCheckResult check_ft_spanner_sampled(const Graph& g, const Graph& h,
+                                       double k, std::size_t r,
+                                       std::size_t random_trials,
+                                       std::size_t adversarial_edges,
                                        std::uint64_t seed);
-
-/// Number of fault sets of size <= r over n vertices (saturating).
-std::size_t count_fault_sets(std::size_t n, std::size_t r);
 
 }  // namespace ftspan

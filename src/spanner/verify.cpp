@@ -1,44 +1,22 @@
 #include "spanner/verify.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "graph/shortest_paths.hpp"
 #include "util/rng.hpp"
+#include "validate/scratch.hpp"
 
 namespace ftspan {
 
 double max_edge_stretch(const Graph& g, const Graph& h,
                         const VertexSet* faults) {
-  if (g.num_vertices() != h.num_vertices())
-    throw std::invalid_argument("max_edge_stretch: vertex count mismatch");
+  // k only affects FtCheckResult::valid, which this entry point discards.
+  return StretchOracle(g, h, /*k=*/1.0).max_stretch(faults);
+}
 
-  // Group surviving edges by endpoint so each vertex needs one Dijkstra in
-  // each of G and H.
-  double worst = 1.0;
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    if (faults != nullptr && faults->contains(u)) continue;
-    bool has_relevant_edge = false;
-    for (const Arc& a : g.neighbors(u)) {
-      if (a.to < u) continue;  // each edge once
-      if (faults != nullptr && faults->contains(a.to)) continue;
-      has_relevant_edge = true;
-      break;
-    }
-    if (!has_relevant_edge) continue;
-
-    const auto dg = dijkstra(g, u, faults);
-    const auto dh = dijkstra(h, u, faults);
-    for (const Arc& a : g.neighbors(u)) {
-      if (a.to < u) continue;
-      if (faults != nullptr && faults->contains(a.to)) continue;
-      if (!dg.reachable(a.to)) continue;  // disconnected in G \ F: exempt
-      if (!dh.reachable(a.to)) return kInfiniteWeight;
-      if (dg.dist[a.to] <= 0) continue;
-      worst = std::max(worst, dh.dist[a.to] / dg.dist[a.to]);
-    }
-  }
-  return worst;
+FtCheckResult max_edge_stretch_sets(const Graph& g, const Graph& h, double k,
+                                    const std::vector<VertexSet>& fault_sets,
+                                    const FtCheckOptions& options) {
+  return StretchOracle(g, h, k).evaluate_sets(fault_sets, options);
 }
 
 bool is_k_spanner(const Graph& g, const Graph& h, double k,
@@ -52,18 +30,20 @@ double sampled_pair_stretch(const Graph& g, const Graph& h,
   const std::size_t n = g.num_vertices();
   if (n < 2) return 1.0;
   Rng rng(seed);
+  DijkstraScratch dg, dh;
   double worst = 1.0;
   for (std::size_t i = 0; i < samples; ++i) {
     const Vertex u = static_cast<Vertex>(rng.uniform_index(n));
     if (faults != nullptr && faults->contains(u)) continue;
-    const auto dg = dijkstra(g, u, faults);
-    const auto dh = dijkstra(h, u, faults);
     const Vertex v = static_cast<Vertex>(rng.uniform_index(n));
     if (v == u) continue;
     if (faults != nullptr && faults->contains(v)) continue;
-    if (!dg.reachable(v) || dg.dist[v] <= 0) continue;
+    const Vertex target[1] = {v};
+    dg.run(g, u, faults, std::span<const Vertex>(target, 1));
+    if (!dg.reachable(v) || dg.dist(v) <= 0) continue;
+    dh.run(h, u, faults, std::span<const Vertex>(target, 1));
     if (!dh.reachable(v)) return kInfiniteWeight;
-    worst = std::max(worst, dh.dist[v] / dg.dist[v]);
+    worst = std::max(worst, dh.dist(v) / dg.dist(v));
   }
   return worst;
 }

@@ -1,4 +1,5 @@
-// Stretch verification for (plain) spanners.
+// Stretch verification for (plain) spanners — wrappers over the batched
+// StretchOracle (src/validate/stretch_oracle.hpp).
 //
 // It suffices to check the spanner condition over the *edges* of G: if every
 // edge (u,v) of G \ F satisfies d_{H\F}(u,v) <= k * d_{G\F}(u,v), then every
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "validate/stretch_oracle.hpp"
 
 namespace ftspan {
 
@@ -18,6 +20,13 @@ namespace ftspan {
 /// no edges. H must have the same vertex count as G.
 double max_edge_stretch(const Graph& g, const Graph& h,
                         const VertexSet* faults = nullptr);
+
+/// Batched variant: worst stretch and witness over a list of fault sets,
+/// fanned across options.threads workers via the StretchOracle. `k` is the
+/// stretch bound judged by the returned FtCheckResult::valid.
+FtCheckResult max_edge_stretch_sets(const Graph& g, const Graph& h, double k,
+                                    const std::vector<VertexSet>& fault_sets,
+                                    const FtCheckOptions& options = {});
 
 /// True iff h is a k-spanner of g (restricted to G \ faults).
 bool is_k_spanner(const Graph& g, const Graph& h, double k,

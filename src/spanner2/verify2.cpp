@@ -53,56 +53,34 @@ double spanner_cost(const Digraph& g, const std::vector<char>& in_spanner) {
 bool is_ft_2spanner_by_definition(const Digraph& g,
                                   const std::vector<char>& in_spanner,
                                   std::size_t r,
-                                  std::size_t max_fault_sets) {
+                                  const FtCheckOptions& options) {
   const std::size_t n = g.num_vertices();
-  if (count_fault_sets(n, r) > max_fault_sets)
-    throw std::runtime_error(
-        "is_ft_2spanner_by_definition: too many fault sets");
+  const std::size_t count = count_fault_sets(n, r);
+  if (count > options.max_fault_sets)
+    throw_fault_set_overflow("is_ft_2spanner_by_definition", n, r, count,
+                             options.max_fault_sets);
 
-  // For each fault set F and each surviving edge (u,v): the 2-spanner
-  // condition on G \ F demands a spanner u→v path of length <= 2 (unit
-  // lengths) avoiding F, i.e. the edge itself or a surviving 2-path.
-  for (std::size_t size = 0; size <= std::min(r, n); ++size) {
-    std::vector<Vertex> comb(size);
-    for (std::size_t i = 0; i < size; ++i) comb[i] = static_cast<Vertex>(i);
-    while (true) {
-      VertexSet faults(n);
-      for (Vertex v : comb) faults.insert(v);
-
-      for (EdgeId id = 0; id < g.num_edges(); ++id) {
-        const DiEdge& e = g.edge(id);
-        if (faults.contains(e.u) || faults.contains(e.v)) continue;
-        if (in_spanner[id]) continue;
-        bool ok = false;
-        for (const Arc& a : g.out_neighbors(e.u)) {
-          if (a.to == e.v || faults.contains(a.to) || !in_spanner[a.edge])
-            continue;
-          const auto second = g.edge_id(a.to, e.v);
-          if (second && in_spanner[*second]) {
-            ok = true;
-            break;
-          }
-        }
-        if (!ok) return false;
-      }
-
-      if (size == 0) break;
-      std::size_t i = size;
-      while (i > 0) {
-        --i;
-        if (comb[i] != static_cast<Vertex>(n - size + i)) break;
-        if (i == 0) {
-          i = size;
-          break;
-        }
-      }
-      if (i == size) break;
-      ++comb[i];
-      for (std::size_t j = i + 1; j < size; ++j)
-        comb[j] = static_cast<Vertex>(comb[j - 1] + 1);
-    }
+  // The 2-spanner condition on G \ F demands, for each surviving edge
+  // (u,v), a spanner u→v path of length <= 2 in *unit* lengths (costs only
+  // price the objective), i.e. the edge itself or a surviving 2-path. That
+  // is exactly a stretch-2 oracle check over unit-cost copies.
+  Digraph unit_g(n);
+  Digraph unit_h(n);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const DiEdge& e = g.edge(id);
+    unit_g.add_edge(e.u, e.v, 1.0);
+    if (in_spanner[id]) unit_h.add_edge(e.u, e.v, 1.0);
   }
-  return true;
+  return DiStretchOracle(unit_g, unit_h, 2.0).check_exact(r, options).valid;
+}
+
+bool is_ft_2spanner_by_definition(const Digraph& g,
+                                  const std::vector<char>& in_spanner,
+                                  std::size_t r,
+                                  std::size_t max_fault_sets) {
+  FtCheckOptions options;
+  options.max_fault_sets = max_fault_sets;
+  return is_ft_2spanner_by_definition(g, in_spanner, r, options);
 }
 
 namespace {

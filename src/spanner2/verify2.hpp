@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "validate/stretch_oracle.hpp"
 
 namespace ftspan {
 
@@ -39,7 +40,13 @@ double spanner_cost(const Digraph& g, const std::vector<char>& in_spanner);
 
 /// Definition-level check used to validate Lemma 3.1 itself in tests:
 /// enumerates every fault set |F| <= r and verifies the 2-spanner condition
-/// on G \ F directly. Throws if there are more than max_fault_sets sets.
+/// on G \ F directly, via a unit-cost DiStretchOracle exact check fanned
+/// across options.threads workers. Throws (reporting n, r, and the computed
+/// count) if there are more than options.max_fault_sets sets.
+bool is_ft_2spanner_by_definition(const Digraph& g,
+                                  const std::vector<char>& in_spanner,
+                                  std::size_t r,
+                                  const FtCheckOptions& options);
 bool is_ft_2spanner_by_definition(const Digraph& g,
                                   const std::vector<char>& in_spanner,
                                   std::size_t r,

@@ -1,0 +1,121 @@
+// Epoch-stamped scratch for repeated Dijkstra runs.
+//
+// The validators run thousands of short Dijkstras (one per spanner-edge
+// endpoint per fault set). A fresh ShortestPathTree per run spends more time
+// in the allocator and the O(n) infinity-fill than in the actual search, so
+// this scratch keeps dist/parent arrays alive across runs and invalidates
+// them in O(1) by bumping an epoch counter: an entry is valid only while its
+// stamp matches the current epoch. Each validation worker owns one scratch.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+/// Uniform out-arc access for the two graph types (Graph adjacency is
+/// symmetric, so its "out" arcs are simply the incident arcs).
+inline std::span<const Arc> out_arcs(const Graph& g, Vertex v) {
+  return g.neighbors(v);
+}
+inline std::span<const Arc> out_arcs(const Digraph& g, Vertex v) {
+  return g.out_neighbors(v);
+}
+
+class DijkstraScratch {
+ public:
+  /// Dijkstra from `source` on G \ faults, overwriting the previous run.
+  ///
+  /// With a non-empty `targets` list the search stops as soon as every
+  /// target is settled; only target entries (and the parent chain of any
+  /// settled vertex) are then guaranteed final. `bound` leaves vertices
+  /// farther than it at infinity — same semantics as dijkstra()'s bound.
+  template <class G>
+  void run(const G& g, Vertex source, const VertexSet* faults,
+           std::span<const Vertex> targets = {},
+           Weight bound = kInfiniteWeight) {
+    ensure(g.num_vertices());
+    ++epoch_;
+    heap_.clear();
+
+    std::size_t remaining = 0;
+    for (const Vertex t : targets)
+      if (target_stamp_[t] != epoch_) {
+        target_stamp_[t] = epoch_;
+        ++remaining;
+      }
+
+    if (faults != nullptr && faults->contains(source)) return;
+    stamp_[source] = epoch_;
+    dist_[source] = 0;
+    parent_[source] = kInvalidVertex;
+    heap_.push_back({0, source});
+
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapGreater{});
+      const HeapItem item = heap_.back();
+      heap_.pop_back();
+      if (done_[item.v] == epoch_) continue;  // duplicate queue entry
+      done_[item.v] = epoch_;
+      if (target_stamp_[item.v] == epoch_ && --remaining == 0) break;
+      for (const Arc& a : out_arcs(g, item.v)) {
+        if (faults != nullptr && faults->contains(a.to)) continue;
+        if (done_[a.to] == epoch_) continue;
+        const Weight nd = item.d + a.w;
+        if (nd > bound) continue;
+        if (stamp_[a.to] != epoch_ || nd < dist_[a.to]) {
+          stamp_[a.to] = epoch_;
+          dist_[a.to] = nd;
+          parent_[a.to] = item.v;
+          heap_.push_back({nd, a.to});
+          std::push_heap(heap_.begin(), heap_.end(), HeapGreater{});
+        }
+      }
+    }
+  }
+
+  Weight dist(Vertex v) const {
+    return stamp_[v] == epoch_ ? dist_[v] : kInfiniteWeight;
+  }
+  bool reachable(Vertex v) const { return dist(v) < kInfiniteWeight; }
+  Vertex parent(Vertex v) const {
+    return stamp_[v] == epoch_ ? parent_[v] : kInvalidVertex;
+  }
+  /// True iff v's distance is final (needed after a targeted early exit).
+  bool settled(Vertex v) const { return done_[v] == epoch_; }
+
+ private:
+  struct HeapItem {
+    Weight d;
+    Vertex v;
+  };
+  struct HeapGreater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.d > b.d;
+    }
+  };
+
+  void ensure(std::size_t n) {
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      done_.resize(n, 0);
+      target_stamp_.resize(n, 0);
+      dist_.resize(n);
+      parent_.resize(n);
+    }
+  }
+
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint64_t> done_;
+  std::vector<std::uint64_t> target_stamp_;
+  std::vector<Weight> dist_;
+  std::vector<Vertex> parent_;
+  std::vector<HeapItem> heap_;
+};
+
+}  // namespace ftspan

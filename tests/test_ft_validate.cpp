@@ -21,6 +21,35 @@ TEST(CountFaultSets, SaturatesInsteadOfOverflowing) {
   EXPECT_GT(count_fault_sets(1000, 20), 1'000'000'000u);
 }
 
+TEST(CountFaultSets, BoundaryRZeroIsAlwaysOne) {
+  // r = 0: only the empty fault set, for any n (including n = 0).
+  EXPECT_EQ(count_fault_sets(0, 0), 1u);
+  EXPECT_EQ(count_fault_sets(1, 0), 1u);
+  EXPECT_EQ(count_fault_sets(1'000'000'000, 0), 1u);
+}
+
+TEST(CountFaultSets, BoundaryLargeNSmallR) {
+  // Exact values stay exact as long as they fit: 1 + n + C(n, 2).
+  const std::size_t n = 1'000'000;
+  EXPECT_EQ(count_fault_sets(n, 1), n + 1);
+  EXPECT_EQ(count_fault_sets(n, 2), 1 + n + n * (n - 1) / 2);
+}
+
+TEST(CountFaultSets, BoundaryRNearNSaturates) {
+  // 2^64 and 2^64 - C(64, 64) both exceed the saturation cap, and once
+  // saturated the count is monotone-stable: the same cap for every larger
+  // argument.
+  const std::size_t cap = count_fault_sets(64, 64);
+  EXPECT_GT(cap, std::size_t{1} << 61);
+  EXPECT_EQ(count_fault_sets(64, 63), cap);
+  EXPECT_EQ(count_fault_sets(200, 199), cap);
+  EXPECT_EQ(count_fault_sets(200, 200), cap);
+  // r > n saturates at 2^n when that still fits...
+  EXPECT_EQ(count_fault_sets(20, 1000), std::size_t{1} << 20);
+  // ...and at the cap when it does not.
+  EXPECT_EQ(count_fault_sets(80, 1000), cap);
+}
+
 TEST(ExactCheck, SpannerOfItselfIsAlwaysValid) {
   const Graph g = gnp(12, 0.5, 3);
   const auto res = check_ft_spanner_exact(g, g, 3.0, 2);
@@ -55,6 +84,37 @@ TEST(ExactCheck, WitnessPairIsReal) {
 TEST(ExactCheck, TooManyFaultSetsThrows) {
   const Graph g = gnp(100, 0.1, 1);
   EXPECT_THROW(check_ft_spanner_exact(g, g, 3.0, 8), std::runtime_error);
+}
+
+TEST(ExactCheck, TooManyFaultSetsMessageReportsParameters) {
+  const Graph g = gnp(100, 0.1, 1);
+  try {
+    check_ft_spanner_exact(g, g, 3.0, 8);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("check_ft_spanner_exact"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n=100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("r=8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(count_fault_sets(100, 8))),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("max_fault_sets=2000000"), std::string::npos) << msg;
+  }
+}
+
+TEST(ExactCheck, CustomCapIsReportedInMessage) {
+  const Graph g = complete(10);
+  try {
+    check_ft_spanner_exact(g, g, 2.0, 2, /*max_fault_sets=*/5);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("n=10"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("r=2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("56"), std::string::npos) << msg;  // 1 + 10 + 45
+    EXPECT_NE(msg.find("max_fault_sets=5"), std::string::npos) << msg;
+  }
 }
 
 TEST(SampledCheck, AgreesWithExactOnValidSpanner) {

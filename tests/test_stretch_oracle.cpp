@@ -1,0 +1,236 @@
+// Unit tests for the StretchOracle subsystem (src/validate/): the
+// epoch-stamped Dijkstra scratch and the batched oracle itself.
+#include "validate/stretch_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "spanner/greedy.hpp"
+#include "spanner/verify.hpp"
+
+namespace ftspan {
+namespace {
+
+TEST(DijkstraScratch, MatchesDijkstraAcrossReusedRuns) {
+  const Graph g = gnp(40, 0.15, 7, 5.0);
+  DijkstraScratch scratch;
+  // Reuse the same scratch for many sources; each run must invalidate the
+  // previous one completely (the epoch stamp, not an O(n) clear).
+  for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+    scratch.run(g, s, nullptr);
+    const auto ref = dijkstra(g, s);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(scratch.dist(v), ref.dist[v]) << "s=" << s << " v=" << v;
+      EXPECT_EQ(scratch.reachable(v), ref.reachable(v));
+    }
+  }
+}
+
+TEST(DijkstraScratch, RespectsFaultMask) {
+  const Graph g = gnp(30, 0.2, 3);
+  const VertexSet faults(30, {2, 11, 17});
+  DijkstraScratch scratch;
+  scratch.run(g, 0, &faults);
+  const auto ref = dijkstra(g, 0, &faults);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(scratch.dist(v), ref.dist[v]) << "v=" << v;
+}
+
+TEST(DijkstraScratch, TargetedRunSettlesTargetsExactly) {
+  const Graph g = gnp(50, 0.12, 11, 3.0);
+  const auto ref = dijkstra(g, 5);
+  DijkstraScratch scratch;
+  const std::vector<Vertex> targets{1, 17, 33, 49};
+  scratch.run(g, 5, nullptr, targets);
+  for (const Vertex t : targets)
+    EXPECT_EQ(scratch.dist(t), ref.dist[t]) << "t=" << t;
+}
+
+TEST(DijkstraScratch, ParentChainOfSettledTargetIsAShortestPath) {
+  const Graph g = gnp(40, 0.15, 13, 4.0);
+  const Vertex source = 0, target = 31;
+  const auto ref = dijkstra(g, source);
+  if (!ref.reachable(target)) GTEST_SKIP();
+  DijkstraScratch scratch;
+  const Vertex t[1] = {target};
+  scratch.run(g, source, nullptr, std::span<const Vertex>(t, 1));
+  // Walk the parent chain and re-add the weights: must equal dist(target).
+  Weight walked = 0;
+  Vertex x = target;
+  while (x != source) {
+    const Vertex p = scratch.parent(x);
+    ASSERT_NE(p, kInvalidVertex);
+    walked += g.edge(*g.edge_id(p, x)).w;
+    x = p;
+  }
+  EXPECT_DOUBLE_EQ(walked, ref.dist[target]);
+}
+
+TEST(DijkstraScratch, BoundLeavesFarVerticesAtInfinity) {
+  const Graph g = path(6);  // unit weights, distances 0..5 from vertex 0
+  DijkstraScratch scratch;
+  scratch.run(g, 0, nullptr, {}, /*bound=*/2.0);
+  EXPECT_DOUBLE_EQ(scratch.dist(2), 2.0);
+  EXPECT_EQ(scratch.dist(3), kInfiniteWeight);
+}
+
+TEST(StretchOracle, ThrowsOnVertexCountMismatch) {
+  const Graph g = path(4);
+  const Graph h(3);
+  EXPECT_THROW(StretchOracle(g, h, 2.0), std::invalid_argument);
+}
+
+TEST(StretchOracle, MaxStretchAgreesWithPerPairBruteForce) {
+  const Graph g = gnp_connected(24, 0.25, 5, 3.0);
+  // Thin the graph to create stretch.
+  std::vector<EdgeId> kept;
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (id % 5 != 0) kept.push_back(id);
+  const Graph h = g.edge_subgraph(kept);
+
+  // Brute force: one Dijkstra pair per edge — the pre-oracle formulation.
+  double brute = 1.0;
+  for (const Edge& e : g.edges()) {
+    const auto dg = dijkstra(g, e.u);
+    const auto dh = dijkstra(h, e.u);
+    if (!dg.reachable(e.v) || dg.dist[e.v] <= 0) continue;
+    const double s = dh.reachable(e.v) ? dh.dist[e.v] / dg.dist[e.v]
+                                       : kInfiniteWeight;
+    brute = std::max(brute, s);
+  }
+  EXPECT_DOUBLE_EQ(StretchOracle(g, h, 3.0).max_stretch(), brute);
+  EXPECT_DOUBLE_EQ(max_edge_stretch(g, h), brute);
+}
+
+TEST(StretchOracle, EvaluateSetsAgreesWithPerSetBruteForce) {
+  const Graph g = gnp(26, 0.3, 9, 2.0);
+  const Graph h = greedy_spanner_graph(g, 3.0);
+  std::vector<VertexSet> sets;
+  sets.emplace_back(26);  // empty set
+  sets.emplace_back(26, std::initializer_list<Vertex>{3});
+  sets.emplace_back(26, std::initializer_list<Vertex>{1, 8});
+  sets.emplace_back(26, std::initializer_list<Vertex>{0, 13, 25});
+
+  double brute = 1.0;
+  for (const VertexSet& f : sets)
+    for (const Edge& e : g.edges()) {
+      if (f.contains(e.u) || f.contains(e.v)) continue;
+      const auto dg = dijkstra(g, e.u, &f);
+      const auto dh = dijkstra(h, e.u, &f);
+      if (!dg.reachable(e.v) || dg.dist[e.v] <= 0) continue;
+      const double s = dh.reachable(e.v) ? dh.dist[e.v] / dg.dist[e.v]
+                                         : kInfiniteWeight;
+      brute = std::max(brute, s);
+    }
+
+  const FtCheckResult res = StretchOracle(g, h, 3.0).evaluate_sets(sets);
+  EXPECT_DOUBLE_EQ(res.worst_stretch, brute);
+  EXPECT_EQ(res.fault_sets_checked, sets.size());
+  EXPECT_EQ(max_edge_stretch_sets(g, h, 3.0, sets).worst_stretch, brute);
+}
+
+TEST(StretchOracle, WitnessFaultSetReallyAchievesTheWorstStretch) {
+  const Graph g = complete(9);
+  const Graph h = star(9);
+  const FtCheckResult res = StretchOracle(g, h, 2.0).check_exact(1);
+  ASSERT_FALSE(res.valid);
+  // Re-evaluating the reported witness fault set alone must reproduce the
+  // reported worst stretch and pair.
+  const StretchOracle oracle(g, h, 2.0);
+  const FtCheckResult replay =
+      oracle.evaluate_sets({res.witness_faults});
+  EXPECT_DOUBLE_EQ(replay.worst_stretch, res.worst_stretch);
+  EXPECT_EQ(replay.witness_u, res.witness_u);
+  EXPECT_EQ(replay.witness_v, res.witness_v);
+}
+
+TEST(StretchOracle, ExactCheckCountsAllFaultSets) {
+  const Graph g = gnp(11, 0.5, 2);
+  const FtCheckResult res = StretchOracle(g, g, 3.0).check_exact(2);
+  EXPECT_TRUE(res.valid);
+  EXPECT_DOUBLE_EQ(res.worst_stretch, 1.0);
+  EXPECT_EQ(res.fault_sets_checked, count_fault_sets(11, 2));
+}
+
+TEST(StretchOracle, ExactCheckOverflowReportsParameters) {
+  const Graph g = gnp(100, 0.1, 1);
+  try {
+    StretchOracle(g, g, 3.0).check_exact(8);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("n=100"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("r=8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(count_fault_sets(100, 8))),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(StretchOracle, SampledCheckCountsTrials) {
+  const Graph g = complete(10);
+  const FtCheckResult res =
+      StretchOracle(g, g, 2.0).check_sampled(1, 17, 9, 5);
+  EXPECT_TRUE(res.valid);
+  EXPECT_EQ(res.fault_sets_checked, 26u);
+}
+
+TEST(StretchOracle, AdversaryStillFindsTheStarWeakness) {
+  const Graph g = complete(40);
+  const Graph h = star(40);
+  const FtCheckResult res =
+      StretchOracle(g, h, 2.0).check_sampled(1, 0, 50, 5);
+  EXPECT_FALSE(res.valid);
+  EXPECT_TRUE(res.witness_faults.contains(0));  // the star center
+}
+
+TEST(DiStretchOracle, DirectedStretchIsDirectionAware) {
+  // g: 0 -> 1 directly and 0 -> 2 -> 1 as a detour; h drops the direct arc.
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  Digraph h(3);
+  h.add_edge(0, 2, 1.0);
+  h.add_edge(2, 1, 1.0);
+  EXPECT_DOUBLE_EQ(DiStretchOracle(g, h, 2.0).max_stretch(), 2.0);
+  EXPECT_TRUE(DiStretchOracle(g, h, 2.0).check_exact(0).valid);
+  // Failing the detour vertex disconnects 0 -> 1 in H but not in G.
+  const FtCheckResult res = DiStretchOracle(g, h, 2.0).check_exact(1);
+  EXPECT_FALSE(res.valid);
+  EXPECT_EQ(res.worst_stretch, kInfiniteWeight);
+  EXPECT_TRUE(res.witness_faults.contains(2));
+}
+
+TEST(SampleFaultSet, DeterministicAndCorrectSize) {
+  std::vector<Vertex> pool_a, pool_b;
+  VertexSet a(50), b(50);
+  Rng rng_a(99), rng_b(99);
+  sample_fault_set(rng_a, 7, pool_a, a);
+  sample_fault_set(rng_b, 7, pool_b, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.count(), 7u);
+  // A different stream draws a different set (overwhelmingly likely).
+  Rng rng_c(100);
+  VertexSet c(50);
+  sample_fault_set(rng_c, 7, pool_a, c);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SampleFaultSet, HandlesDegenerateSizes) {
+  std::vector<Vertex> pool;
+  VertexSet out(4);
+  Rng rng(1);
+  sample_fault_set(rng, 0, pool, out);
+  EXPECT_TRUE(out.empty());
+  sample_fault_set(rng, 4, pool, out);  // whole universe
+  EXPECT_EQ(out.count(), 4u);
+  sample_fault_set(rng, 9, pool, out);  // clamped to the universe
+  EXPECT_EQ(out.count(), 4u);
+}
+
+}  // namespace
+}  // namespace ftspan
