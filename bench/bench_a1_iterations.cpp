@@ -5,7 +5,12 @@
 // exactly fault tolerant, plus the spanner size. The experiment shows the
 // theory constant is conservative — small c already gives validity — which
 // is why ConversionOptions exposes it.
+//
+// `--json <path>` additionally writes the machine-readable throughput record
+// (conversion iterations/second on gnp(400, 0.05), r = 2, 1 thread) that
+// BENCH_pr4.json snapshots and the CI perf-smoke job compares against.
 #include <cstdio>
+#include <cstring>
 
 #include "ftspanner/conversion.hpp"
 #include "ftspanner/validate.hpp"
@@ -17,7 +22,17 @@
 
 using namespace ftspan;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    }
+
   std::printf("# A1: iteration-constant sweep for the Theorem 2.1 conversion\n");
   std::printf("# instance: G(16, 0.5), k = 3, r = 2; 10 seeds per cell\n");
 
@@ -81,5 +96,50 @@ int main() {
         .cell(seq_sec / sec, 2);
   }
   tt.print();
+
+  // The perf-tracked cell: single-thread conversion-iteration throughput on
+  // the acceptance instance (ISSUE 4), gnp(400, 0.05), k = 3, r = 2, c = 1.
+  // Best of three timed runs, so one scheduler hiccup on a noisy host (CI!)
+  // does not read as a regression.
+  banner("conversion throughput: gnp(400, 0.05), k = 3, r = 2, 1 thread");
+  const Graph perf_g = gnp(400, 0.05, 1234);
+  ConversionOptions perf_opt;
+  perf_opt.threads = 1;
+  perf_opt.iteration_constant = 1.0;
+  std::size_t perf_alpha = 0, perf_edges = 0;
+  double perf_sec = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer perf_timer;
+    const auto perf = ft_greedy_spanner(perf_g, 3.0, r, 4242, perf_opt);
+    const double sec = perf_timer.seconds();
+    if (rep == 0 || sec < perf_sec) perf_sec = sec;
+    perf_alpha = perf.iterations;
+    perf_edges = perf.edges.size();
+  }
+  const double iters_per_sec = perf_alpha / perf_sec;
+  std::printf("alpha = %zu iterations, best of 3: %.3f s -> %.1f "
+              "iterations/s\n",
+              perf_alpha, perf_sec, iters_per_sec);
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("ERROR: cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_a1\",\n"
+                 "  \"instance\": \"gnp(400, 0.05, seed=1234), k=3, r=2\",\n"
+                 "  \"threads\": 1,\n"
+                 "  \"iterations\": %zu,\n"
+                 "  \"seconds\": %.6f,\n"
+                 "  \"iters_per_sec\": %.2f,\n"
+                 "  \"spanner_edges\": %zu\n"
+                 "}\n",
+                 perf_alpha, perf_sec, iters_per_sec, perf_edges);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

@@ -8,12 +8,14 @@
 // the same fault-set stream (so worst stretch must match exactly) and then
 // shows the thread fan-out.
 //
-//   $ ./bench_e11_validation_throughput [n] [p] [r] [trials]
+//   $ ./bench_e11_validation_throughput [n] [p] [r] [trials] [--json <path>]
 //
 // Acceptance (ISSUE 3): oracle >= 5x faster than the per-pair path at one
 // thread on gnp(400, 0.05), r = 2, with identical worst_stretch.
+// `--json <path>` writes the machine-readable record for perf tracking.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "ftspanner/validate.hpp"
 #include "graph/generators.hpp"
@@ -62,11 +64,24 @@ FtCheckResult per_pair_reference(const Graph& g, const Graph& h, double k,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
-  const double p = argc > 2 ? std::strtod(argv[2], nullptr) : 0.05;
-  const std::size_t r = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 2;
-  const std::size_t trials =
-      argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 12;
+  const char* json_path = nullptr;
+  const char* pos[4] = {nullptr, nullptr, nullptr, nullptr};
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (npos < 4) {
+      pos[npos++] = argv[i];
+    }
+  }
+  const std::size_t n = pos[0] ? std::strtoul(pos[0], nullptr, 10) : 400;
+  const double p = pos[1] ? std::strtod(pos[1], nullptr) : 0.05;
+  const std::size_t r = pos[2] ? std::strtoul(pos[2], nullptr, 10) : 2;
+  const std::size_t trials = pos[3] ? std::strtoul(pos[3], nullptr, 10) : 12;
   const double k = 3.0;
   const std::uint64_t seed = 1;
 
@@ -77,6 +92,8 @@ int main(int argc, char** argv) {
               "edges; r=%zu, %zu random fault sets\n",
               n, p, g.num_edges(), k, h.num_edges(), r, trials);
 
+  double json_sets_per_sec = 0;
+  double json_speedup = 0;
   {
     banner("sampled check at 1 thread (identical fault-set stream)");
     const StretchOracle oracle(g, h, k);
@@ -115,6 +132,8 @@ int main(int argc, char** argv) {
       std::printf("acceptance FAILED (need identical stretch and >= 5x)\n");
       return 1;
     }
+    json_sets_per_sec = ora.fault_sets_checked / (ms_ora / 1e3);
+    json_speedup = speedup;
   }
 
   {
@@ -166,6 +185,26 @@ int main(int argc, char** argv) {
         "\nReading: the oracle turns one Dijkstra pair per pair into one per "
         "endpoint (bounded + early-exit + reused scratch), and the fault-set "
         "fan-out adds wall-clock speedup without changing a single bit.\n");
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("ERROR: cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_e11\",\n"
+                 "  \"instance\": \"gnp(%zu, %g, seed=1), k=%g, r=%zu, "
+                 "%zu fault sets\",\n"
+                 "  \"threads\": 1,\n"
+                 "  \"oracle_sets_per_sec\": %.2f,\n"
+                 "  \"speedup_vs_per_pair\": %.2f\n"
+                 "}\n",
+                 n, p, k, r, trials, json_sets_per_sec, json_speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
   }
   return 0;
 }

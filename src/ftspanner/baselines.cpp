@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "ftspanner/validate.hpp"
-#include "graph/shortest_paths.hpp"
+#include "spanner/greedy.hpp"
 #include "util/rng.hpp"
 
 namespace ftspan {
@@ -58,24 +58,23 @@ std::vector<EdgeId> layered_greedy_spanner(const Graph& g, double k,
   if (k < 1.0)
     throw std::invalid_argument("layered_greedy_spanner: k must be >= 1");
 
-  std::vector<EdgeId> order(g.num_edges());
-  for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
-    return g.edge(a).w < g.edge(b).w;
-  });
+  // One edge-weight sort for all layers; one pooled workspace whose scratch
+  // spanner is reset O(kept) between layers.
+  const GreedyContext ctx(g);
+  GreedyWorkspace ws;
+  ws.reserve(g.num_vertices(), g.num_edges());
 
   std::vector<char> taken(g.num_edges(), 0);
   std::vector<EdgeId> out;
   for (std::size_t layer = 0; layer <= r; ++layer) {
-    Graph h(g.num_vertices());
-    for (EdgeId id : order) {
-      if (taken[id]) continue;
-      const Edge& e = g.edge(id);
-      const Weight bound = k * e.w * (1 + 1e-12);
-      if (pair_distance(h, e.u, e.v, nullptr, bound) > k * e.w) {
-        h.add_edge(e.u, e.v, e.w);
-        taken[id] = 1;
-        out.push_back(id);
+    ws.reset(g.num_vertices());
+    for (const GreedyContext::OrderedEdge& e : ctx.sorted) {
+      if (taken[e.id]) continue;
+      const Weight bound = k * e.w * (1 + kStretchSlack);
+      if (ws.bounded_pair(e.u, e.v, nullptr, bound) > k * e.w) {
+        ws.add_edge(e.u, e.v, e.w);
+        taken[e.id] = 1;
+        out.push_back(e.id);
       }
     }
   }

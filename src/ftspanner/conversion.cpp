@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "ftspanner/parallel.hpp"
@@ -25,7 +26,7 @@ std::size_t conversion_iterations(std::size_t r, std::size_t n, double c) {
 }
 
 ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
-                                        const BaseSpanner& base,
+                                        const BaseSpannerFactory& factory,
                                         std::uint64_t seed,
                                         const ConversionOptions& options) {
   if (r < 1)
@@ -48,41 +49,69 @@ ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
   // Each iteration is seeded by hash_combine(seed, it), so the engine may run
   // them in any order, on any worker, and still reproduce the sequential
   // output bit-for-bit (see parallel.hpp). Survivor counts land in distinct
-  // slots of a pre-sized array — no synchronization needed.
+  // slots of a pre-sized array — no synchronization needed. Each worker owns
+  // a bound base spanner plus a reusable fault mask, so after its first
+  // iteration the loop performs no heap allocations.
   std::vector<std::size_t> survivors(alpha, 0);
-  const IterationBody body = [&g, &base, &survivors, keep, seed,
-                              n](std::size_t it, std::vector<char>& marks) {
-    Rng rng(hash_combine(seed, it));
-    VertexSet removed(n);
-    std::size_t alive = 0;
-    for (Vertex v = 0; v < n; ++v) {
-      if (rng.bernoulli(keep))
-        ++alive;
-      else
-        removed.insert(v);
-    }
-    survivors[it] = alive;
-    if (alive < 2) return;  // nothing to span
-    for (EdgeId id : base(g, &removed, rng())) marks[id] = 1;
+  const IterationBodyFactory bodies = [&factory, &survivors, keep, seed,
+                                       n](std::size_t) -> IterationBody {
+    return [base = factory(), removed = VertexSet(n), &survivors, keep, seed,
+            n](std::size_t it, std::vector<char>& marks) mutable {
+      Rng rng(hash_combine(seed, it));
+      removed.clear();
+      std::size_t alive = 0;
+      for (Vertex v = 0; v < n; ++v) {
+        if (rng.bernoulli(keep))
+          ++alive;
+        else
+          removed.insert(v);
+      }
+      survivors[it] = alive;
+      if (alive < 2) return;  // nothing to span
+      for (EdgeId id : base(&removed, rng())) marks[id] = 1;
+    };
   };
 
   // Passing the already-resolved count keeps threads_used exactly what the
   // engine runs with (resolve_threads is idempotent on its own output).
   result.edges = marks_to_edges(
-      union_iterations(alpha, result.threads_used, g.num_edges(), body));
+      union_iterations(alpha, result.threads_used, g.num_edges(), bodies));
   if (alpha > 0)
     result.max_survivors = *std::max_element(survivors.begin(), survivors.end());
   return result;
 }
 
+ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
+                                        const BaseSpanner& base,
+                                        std::uint64_t seed,
+                                        const ConversionOptions& options) {
+  // Adapt the stateless interface: each worker gets a private output buffer
+  // the copied edge list lands in.
+  const BaseSpannerFactory factory = [&g, &base]() -> BoundBaseSpanner {
+    return [&g, &base, buffer = std::vector<EdgeId>()](
+               const VertexSet* mask,
+               std::uint64_t it_seed) mutable -> std::span<const EdgeId> {
+      buffer = base(g, mask, it_seed);
+      return buffer;
+    };
+  };
+  return fault_tolerant_spanner(g, r, factory, seed, options);
+}
+
 ConversionResult ft_greedy_spanner(const Graph& g, double k, std::size_t r,
                                    std::uint64_t seed,
                                    const ConversionOptions& options) {
-  const BaseSpanner base = [k](const Graph& graph, const VertexSet* mask,
-                               std::uint64_t) {
-    return greedy_spanner(graph, k, mask);
+  // The hoisted per-graph state: one edge-weight sort shared by every
+  // iteration and every worker (it is read-only after construction).
+  const GreedyContext ctx(g);
+  const BaseSpannerFactory factory = [&ctx, k]() -> BoundBaseSpanner {
+    return [&ctx, k, ws = std::make_shared<GreedyWorkspace>()](
+               const VertexSet* mask,
+               std::uint64_t) -> std::span<const EdgeId> {
+      return ws->run(ctx, k, mask);
+    };
   };
-  return fault_tolerant_spanner(g, r, base, seed, options);
+  return fault_tolerant_spanner(g, r, factory, seed, options);
 }
 
 double corollary22_size_bound(std::size_t n, double k, std::size_t r) {

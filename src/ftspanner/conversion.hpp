@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -28,6 +29,21 @@ namespace ftspan {
 /// from the seed argument, keep scratch buffers per call).
 using BaseSpanner = std::function<std::vector<EdgeId>(
     const Graph&, const VertexSet*, std::uint64_t)>;
+
+/// A base spanner *bound* to one graph and one worker thread: (removed-vertex
+/// mask, seed) -> edge ids of a k-spanner of G \ mask. A bound instance is
+/// only ever called sequentially by its owning worker, so it may reuse
+/// internal scratch across calls (pooled Dijkstra engine, incremental
+/// adjacency, output buffer); the returned span is valid until the next
+/// call. This is the zero-allocation hot path of the conversion.
+using BoundBaseSpanner =
+    std::function<std::span<const EdgeId>(const VertexSet*, std::uint64_t)>;
+
+/// Creates one BoundBaseSpanner per worker thread. Called concurrently from
+/// the workers, so it must only read shared immutable context (e.g. a
+/// GreedyContext with the hoisted edge-weight sort) and construct fresh
+/// per-worker state.
+using BaseSpannerFactory = std::function<BoundBaseSpanner()>;
 
 struct ConversionOptions {
   /// c in alpha = ceil(c * max(r,1)^3 * ln n). Theorem 2.1 needs c = Θ(1);
@@ -65,6 +81,14 @@ std::size_t conversion_iterations(std::size_t r, std::size_t n, double c = 1.0);
 /// The conversion of Theorem 2.1. Requires r >= 1 and k >= 1.
 ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
                                         const BaseSpanner& base,
+                                        std::uint64_t seed,
+                                        const ConversionOptions& options = {});
+
+/// As above with per-worker pooled base-spanner state — the allocation-free
+/// path used by ft_greedy_spanner. Custom bases that keep scratch across
+/// iterations should prefer this overload.
+ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
+                                        const BaseSpannerFactory& factory,
                                         std::uint64_t seed,
                                         const ConversionOptions& options = {});
 

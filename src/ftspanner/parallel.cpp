@@ -16,10 +16,18 @@ std::size_t resolve_threads(std::size_t requested, std::size_t iterations) {
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges,
                                    const IterationBody& body) {
+  return union_iterations(iterations, threads, num_edges,
+                          [&body](std::size_t) { return body; });
+}
+
+std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
+                                   std::size_t num_edges,
+                                   const IterationBodyFactory& factory) {
   const std::size_t workers = resolve_threads(threads, iterations);
 
   if (workers == 1) {
     std::vector<char> marks(num_edges, 0);
+    const IterationBody body = factory(0);
     for (std::size_t it = 0; it < iterations; ++it) body(it, marks);
     return marks;
   }
@@ -30,8 +38,9 @@ std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
   {
     ThreadPool pool(workers);
     for (std::size_t w = 0; w < workers; ++w)
-      pool.submit([&buffers, &next, &body, iterations, w] {
+      pool.submit([&buffers, &next, &factory, iterations, w] {
         std::vector<char>& marks = buffers[w];
+        const IterationBody body = factory(w);
         for (std::size_t it = next.fetch_add(1, std::memory_order_relaxed);
              it < iterations;
              it = next.fetch_add(1, std::memory_order_relaxed))

@@ -32,6 +32,16 @@ namespace ftspan {
 using IterationBody =
     std::function<void(std::size_t it, std::vector<char>& marks)>;
 
+/// Creates the iteration body a single worker will call sequentially. Invoked
+/// once per worker, from that worker's thread, so the body may own mutable
+/// per-worker scratch (pooled Dijkstra engines, greedy workspaces, fault-set
+/// buffers) without any synchronization. The factory itself is called
+/// concurrently from different workers and must be safe to do so — in
+/// practice it only reads shared immutable context and constructs fresh
+/// state. Determinism contract is unchanged: body results may depend on `it`
+/// only, never on which worker runs it or in what order.
+using IterationBodyFactory = std::function<IterationBody(std::size_t worker)>;
+
 /// Sanity ceiling on worker count, not a tuning knob: far above any
 /// speedup-bearing thread count, low enough that a bogus request (e.g.
 /// size_t(-1)) cannot exhaust OS threads — each worker also owns an m-byte
@@ -53,6 +63,12 @@ std::size_t resolve_threads(std::size_t requested, std::size_t iterations);
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges,
                                    const IterationBody& body);
+
+/// As above, but with per-worker pooled state: each worker builds its body
+/// once via `factory` and then drains iterations through it.
+std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
+                                   std::size_t num_edges,
+                                   const IterationBodyFactory& factory);
 
 /// Collects the marked edge ids in increasing order — the canonical output
 /// form shared by the sequential and parallel paths.

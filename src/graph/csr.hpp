@@ -1,0 +1,79 @@
+// Csr — an immutable compressed-sparse-row snapshot of a Graph or Digraph.
+//
+// The adjacency-list types (vector<vector<Arc>>) are convenient to build but
+// pointer-chasing to traverse: every vertex's arc list is its own heap
+// allocation. The hot loops (the Theorem 2.1 conversion, the StretchOracle)
+// traverse adjacency millions of times over a graph that never changes, so
+// they take a one-time O(n + m) snapshot into two flat arrays — offsets and
+// arcs — and scan those instead. Arc order within a vertex is preserved
+// exactly, so any order-dependent tie-breaking (e.g. the oracle's witness
+// selection) is unchanged by the snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace ftspan {
+
+/// Flat adjacency entry. Same fields as Arc, packed so a vertex's arcs sit in
+/// one contiguous 16-byte-strided run.
+struct CsrArc {
+  Vertex to = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+  Weight w = 1.0;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Snapshot of an undirected graph: both directions of every edge.
+  explicit Csr(const Graph& g) {
+    build(g.num_vertices(), [&g](Vertex v) { return g.neighbors(v); });
+  }
+
+  /// Snapshot of a digraph's out-arcs.
+  explicit Csr(const Digraph& g) {
+    build(g.num_vertices(), [&g](Vertex v) { return g.out_neighbors(v); });
+  }
+
+  std::size_t num_vertices() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+  std::span<const CsrArc> out(Vertex v) const {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+  std::size_t degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
+
+ private:
+  template <class NeighborFn>
+  void build(std::size_t n, NeighborFn&& neighbors) {
+    offsets_.resize(n + 1);
+    std::size_t total = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      offsets_[v] = static_cast<std::uint32_t>(total);
+      total += neighbors(v).size();
+    }
+    // Offsets are 32-bit; a graph with >= 2^32 arcs (2^31 undirected edges)
+    // would wrap them into non-monotonic garbage. Same refusal policy as the
+    // Graph/Digraph vertex-count guards.
+    if (total > std::numeric_limits<std::uint32_t>::max())
+      throw std::length_error("Csr: arc count exceeds the 32-bit offset space");
+    offsets_[n] = static_cast<std::uint32_t>(total);
+    arcs_.reserve(total);
+    for (Vertex v = 0; v < n; ++v)
+      for (const Arc& a : neighbors(v)) arcs_.push_back({a.to, a.edge, a.w});
+  }
+
+  std::vector<std::uint32_t> offsets_;  ///< n + 1 entries; arcs of v are [offsets_[v], offsets_[v+1])
+  std::vector<CsrArc> arcs_;
+};
+
+}  // namespace ftspan

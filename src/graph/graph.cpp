@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace ftspan {
 
-Graph::Graph(std::size_t n) : adj_(n) {}
+namespace {
+
+// Vertex ids are 32-bit and the edge index packs (u << 32) | v, so a vertex
+// universe reaching 2^32 would make ids unrepresentable and the hash
+// non-injective. kInvalidVertex itself is reserved as a sentinel.
+void check_vertex_count(std::size_t n, const char* type) {
+  if (n > static_cast<std::size_t>(kInvalidVertex))
+    throw std::invalid_argument(std::string(type) +
+                                ": vertex count exceeds the 32-bit id space");
+}
+
+}  // namespace
+
+Graph::Graph(std::size_t n) : adj_((check_vertex_count(n, "Graph"), n)) {}
 
 EdgeId Graph::add_edge(Vertex u, Vertex v, Weight w) {
   if (u == v) return kInvalidEdge;
@@ -63,7 +77,8 @@ Graph Graph::from_edges(std::size_t n, const std::vector<Edge>& edges) {
   return g;
 }
 
-Digraph::Digraph(std::size_t n) : out_(n), in_(n) {}
+Digraph::Digraph(std::size_t n)
+    : out_((check_vertex_count(n, "Digraph"), n)), in_(n) {}
 
 EdgeId Digraph::add_edge(Vertex u, Vertex v, Weight w) {
   if (u == v) return kInvalidEdge;

@@ -25,6 +25,9 @@ namespace ftspan {
 class Graph {
  public:
   Graph() = default;
+  /// Throws std::invalid_argument if n exceeds the 32-bit vertex-id space:
+  /// edge hashing packs (u << 32) | v into 64 bits, so vertex ids at or
+  /// above 2^32 would silently collide (and kInvalidVertex is reserved).
   explicit Graph(std::size_t n);
 
   std::size_t num_vertices() const { return adj_.size(); }
@@ -61,6 +64,7 @@ class Graph {
   static Graph from_edges(std::size_t n, const std::vector<Edge>& edges);
 
  private:
+  // Injective because the constructor guarantees u, v < 2^32 (see above).
   static std::uint64_t key(Vertex u, Vertex v) {
     if (u > v) std::swap(u, v);
     return (static_cast<std::uint64_t>(u) << 32) | v;
@@ -75,6 +79,8 @@ class Graph {
 class Digraph {
  public:
   Digraph() = default;
+  /// Throws std::invalid_argument if n exceeds the 32-bit vertex-id space
+  /// (same edge-hash injectivity requirement as Graph).
   explicit Digraph(std::size_t n);
 
   std::size_t num_vertices() const { return out_.size(); }

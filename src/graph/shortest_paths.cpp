@@ -2,48 +2,27 @@
 
 #include <queue>
 
+#include "graph/sp_engine.hpp"
+
 namespace ftspan {
 
 namespace {
 
-struct QueueItem {
-  Weight dist;
-  Vertex v;
-  bool operator>(const QueueItem& o) const { return dist > o.dist; }
-};
+// One pooled engine per thread: the convenience wrappers below stay
+// allocation-free in the search itself and only pay for the O(n) result
+// materialization their return type requires.
+DijkstraEngine& engine() {
+  thread_local DijkstraEngine eng;
+  return eng;
+}
 
-using MinQueue =
-    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
-
-template <class NeighborFn>
-ShortestPathTree dijkstra_impl(std::size_t n, Vertex source,
-                               const VertexSet* faults,
-                               std::optional<Weight> bound,
-                               std::optional<Vertex> target,
-                               NeighborFn&& neighbors) {
+ShortestPathTree export_tree(const DijkstraEngine& eng, std::size_t n) {
   ShortestPathTree t;
-  t.dist.assign(n, kInfiniteWeight);
-  t.parent.assign(n, kInvalidVertex);
-  if (faults != nullptr && faults->contains(source)) return t;
-
-  MinQueue q;
-  t.dist[source] = 0;
-  q.push({0, source});
-  while (!q.empty()) {
-    const auto [d, v] = q.top();
-    q.pop();
-    if (d > t.dist[v]) continue;  // stale entry
-    if (target && v == *target) break;
-    for (const Arc& a : neighbors(v)) {
-      if (faults != nullptr && faults->contains(a.to)) continue;
-      const Weight nd = d + a.w;
-      if (bound && nd > *bound) continue;
-      if (nd < t.dist[a.to]) {
-        t.dist[a.to] = nd;
-        t.parent[a.to] = v;
-        q.push({nd, a.to});
-      }
-    }
+  t.dist.resize(n);
+  t.parent.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    t.dist[v] = eng.dist(v);
+    t.parent[v] = eng.parent(v);
   }
   return t;
 }
@@ -53,8 +32,9 @@ ShortestPathTree dijkstra_impl(std::size_t n, Vertex source,
 ShortestPathTree dijkstra(const Graph& g, Vertex source,
                           const VertexSet* faults,
                           std::optional<Weight> bound) {
-  return dijkstra_impl(g.num_vertices(), source, faults, bound, std::nullopt,
-                       [&g](Vertex v) { return g.neighbors(v); });
+  DijkstraEngine& eng = engine();
+  eng.run(g, source, faults, {}, bound.value_or(kInfiniteWeight));
+  return export_tree(eng, g.num_vertices());
 }
 
 ShortestPathTree bfs(const Graph& g, Vertex source, const VertexSet* faults,
@@ -86,10 +66,8 @@ ShortestPathTree bfs(const Graph& g, Vertex source, const VertexSet* faults,
 
 Weight pair_distance(const Graph& g, Vertex s, Vertex t,
                      const VertexSet* faults, std::optional<Weight> bound) {
-  const ShortestPathTree tree =
-      dijkstra_impl(g.num_vertices(), s, faults, bound, t,
-                    [&g](Vertex v) { return g.neighbors(v); });
-  return tree.dist[t];
+  return engine().bounded_pair(g, s, t, faults,
+                               bound.value_or(kInfiniteWeight));
 }
 
 std::vector<std::vector<Weight>> all_pairs_distances(const Graph& g,
@@ -104,8 +82,9 @@ std::vector<std::vector<Weight>> all_pairs_distances(const Graph& g,
 ShortestPathTree dijkstra(const Digraph& g, Vertex source,
                           const VertexSet* faults,
                           std::optional<Weight> bound) {
-  return dijkstra_impl(g.num_vertices(), source, faults, bound, std::nullopt,
-                       [&g](Vertex v) { return g.out_neighbors(v); });
+  DijkstraEngine& eng = engine();
+  eng.run(g, source, faults, {}, bound.value_or(kInfiniteWeight));
+  return export_tree(eng, g.num_vertices());
 }
 
 }  // namespace ftspan

@@ -1,0 +1,355 @@
+// DijkstraEngine — the one Dijkstra implementation in this repository.
+//
+// Every shortest-path computation in src/ (greedy spanner, Thorup–Zwick,
+// distance oracle, edge-fault checks, the StretchOracle, and the public
+// dijkstra()/pair_distance() wrappers) runs through run_visit() below. The
+// engine is a *pooled workspace*: it owns epoch-stamped dist/parent/via
+// arrays, a reusable 4-ary heap, and the settle-order log, so that after the
+// first run at a given graph size a run performs zero heap allocations —
+// invalidation of the previous run's state is an O(1) epoch bump, not an
+// O(n) infinity-fill (the trick that bought 17.6x on the validation side in
+// validate/scratch.hpp, now shared by the construction side too).
+//
+// Usage pattern: one engine per thread, reused across runs. Engines are not
+// thread-safe; never share one across concurrent callers.
+//
+// Semantics (identical to the historical implementations it replaces):
+//   - `bound`:   a relaxation with tentative distance nd > bound is skipped;
+//                vertices beyond the bound stay at infinity.
+//   - `targets`: with a non-empty target list the search stops as soon as
+//                every (distinct) target is settled; only target entries and
+//                parent chains of settled vertices are then final.
+//   - `prune_at`: optional per-vertex ceiling; a relaxation with
+//                nd >= prune_at[to] is skipped (the Thorup–Zwick cluster
+//                truncation d(w, v) < d(v, A_{i+1})).
+//   - faulted vertices are never relaxed and never used as sources.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+#include "graph/vertex_set.hpp"
+
+namespace ftspan {
+
+/// Uniform out-arc access for the graph types (Graph adjacency is symmetric,
+/// so its "out" arcs are simply the incident arcs).
+inline std::span<const Arc> out_arcs(const Graph& g, Vertex v) {
+  return g.neighbors(v);
+}
+inline std::span<const Arc> out_arcs(const Digraph& g, Vertex v) {
+  return g.out_neighbors(v);
+}
+inline std::span<const CsrArc> out_arcs(const Csr& g, Vertex v) {
+  return g.out(v);
+}
+
+class DijkstraEngine {
+ public:
+  /// Pre-sizes every internal buffer for an n-vertex graph whose searches
+  /// push at most heap_hint entries (2m + #sources is always enough: each
+  /// directed arc causes at most one push). Optional — buffers also grow on
+  /// demand — but calling it up front makes later runs allocation-free even
+  /// on the very first search.
+  void reserve(std::size_t n, std::size_t heap_hint);
+
+  /// Single-source run; see the header comment for bound/targets semantics.
+  /// G is Graph, Digraph, or Csr. Drop-in replacement for the retired
+  /// DijkstraScratch::run.
+  template <class G>
+  void run(const G& g, Vertex source, const VertexSet* faults = nullptr,
+           std::span<const Vertex> targets = {},
+           Weight bound = kInfiniteWeight) {
+    const Vertex src[1] = {source};
+    run_visit(g.num_vertices(), {src, 1}, faults, bound, targets, nullptr,
+              arc_visitor(g));
+  }
+
+  /// Multi-source run: dist(v) = d(v, sources).
+  template <class G>
+  void run_multi(const G& g, std::span<const Vertex> sources,
+                 const VertexSet* faults = nullptr) {
+    run_visit(g.num_vertices(), sources, faults, kInfiniteWeight, {}, nullptr,
+              arc_visitor(g));
+  }
+
+  /// Truncated single-source run: relaxations with nd >= prune_at[to] are
+  /// skipped (prune_at has num_vertices entries).
+  template <class G>
+  void run_pruned(const G& g, Vertex source, const VertexSet* faults,
+                  const Weight* prune_at) {
+    const Vertex src[1] = {source};
+    run_visit(g.num_vertices(), {src, 1}, faults, kInfiniteWeight, {},
+              prune_at, arc_visitor(g));
+  }
+
+  /// Single-source run on G minus a set of dead *edges* (the edge-fault
+  /// model): arcs whose edge id is marked dead are never relaxed.
+  template <class G>
+  void run_avoiding_edges(const G& g, Vertex source,
+                          const std::vector<char>& dead_edges) {
+    const Vertex src[1] = {source};
+    const auto inner = arc_visitor(g);
+    run_visit(g.num_vertices(), {src, 1}, nullptr, kInfiniteWeight, {},
+              nullptr, [&](Vertex v, auto&& relax) {
+                inner(v, [&](Vertex to, Weight w, EdgeId edge) {
+                  if (!dead_edges[edge]) relax(to, w, edge);
+                });
+              });
+  }
+
+  /// Single-pair distance with early exit once `target` settles; same
+  /// semantics as the historical pair_distance (bounded, fault-masked).
+  template <class G>
+  Weight bounded_pair(const G& g, Vertex source, Vertex target,
+                      const VertexSet* faults = nullptr,
+                      Weight bound = kInfiniteWeight) {
+    const Vertex tgt[1] = {target};
+    run(g, source, faults, {tgt, 1}, bound);
+    return dist(target);
+  }
+
+  // --- results of the most recent run -------------------------------------
+
+  Weight dist(Vertex v) const {
+    return stamp_[v] == epoch_ ? dist_[v] : kInfiniteWeight;
+  }
+  bool reachable(Vertex v) const { return dist(v) < kInfiniteWeight; }
+  Vertex parent(Vertex v) const {
+    return stamp_[v] == epoch_ ? parent_[v] : kInvalidVertex;
+  }
+  /// Edge id used to first reach v at its final distance (kInvalidEdge for
+  /// sources / unreached vertices, or when the arcs carried no edge ids).
+  EdgeId via(Vertex v) const {
+    return stamp_[v] == epoch_ ? via_[v] : kInvalidEdge;
+  }
+  /// True iff v's distance is final (needed after a targeted early exit).
+  bool settled(Vertex v) const { return done_[v] == epoch_; }
+  /// The vertices settled by the last run, in non-decreasing distance order.
+  /// Parents appear before their children, so one forward pass can propagate
+  /// any per-root label down the shortest-path tree.
+  std::span<const Vertex> settle_order() const { return order_; }
+
+  // --- the core loop ------------------------------------------------------
+
+  /// The single Dijkstra implementation. VisitArcs is called as
+  /// visit(v, relax) and must invoke relax(to, w, edge) once per out-arc of
+  /// v; every public entry point above is a thin wrapper around this.
+  template <class VisitArcs>
+  void run_visit(std::size_t n, std::span<const Vertex> sources,
+                 const VertexSet* faults, Weight bound,
+                 std::span<const Vertex> targets, const Weight* prune_at,
+                 VisitArcs&& visit) {
+    ensure(n);
+    next_epoch();
+    heap_.clear();
+    order_.clear();
+
+    std::size_t remaining = 0;
+    for (const Vertex t : targets)
+      if (target_stamp_[t] != epoch_) {
+        target_stamp_[t] = epoch_;
+        ++remaining;
+      }
+
+    for (const Vertex s : sources) {
+      if (faults != nullptr && faults->contains(s)) continue;
+      if (stamp_[s] == epoch_) continue;  // duplicate source
+      stamp_[s] = epoch_;
+      dist_[s] = 0;
+      parent_[s] = kInvalidVertex;
+      via_[s] = kInvalidEdge;
+      heap_push({0, s});
+    }
+
+    while (!heap_.empty()) {
+      const HeapItem item = heap_pop();
+      const Vertex v = item.v;
+      if (done_[v] == epoch_) continue;  // stale duplicate queue entry
+      done_[v] = epoch_;
+      order_.push_back(v);
+      if (target_stamp_[v] == epoch_ && --remaining == 0) break;
+      visit(v, [&](Vertex to, Weight w, EdgeId edge) {
+        if (faults != nullptr && faults->contains(to)) return;
+        if (done_[to] == epoch_) return;
+        const Weight nd = item.d + w;
+        if (nd > bound) return;
+        if (prune_at != nullptr && nd >= prune_at[to]) return;
+        if (stamp_[to] != epoch_ || nd < dist_[to]) {
+          stamp_[to] = epoch_;
+          dist_[to] = nd;
+          parent_[to] = v;
+          via_[to] = edge;
+          heap_push({nd, to});
+        }
+      });
+    }
+  }
+
+  /// Exact bounded s-t distance by *bidirectional* search: two cooperating
+  /// half-searches (one per engine) expand alternately — cheaper frontier
+  /// first — and stop as soon as the best meeting path is provably optimal
+  /// (topF + topB >= mu) or provably longer than `bound`. Explores two
+  /// radius-bound/2 balls instead of one radius-bound ball, which is the
+  /// asymptotic win on expander-like graphs. Floating-point caveat: a path
+  /// is summed in two halves that meet in the middle, so the returned value
+  /// can differ from a forward-accumulating run() by accumulated rounding
+  /// (~hops * eps, relative); callers whose *decision* compares the result
+  /// against a threshold must treat a window around that threshold as
+  /// undecided and re-query run() — see GreedyWorkspace::bounded_pair.
+  /// Undirected adjacency only: `visit` serves both directions.
+  template <class VisitArcs>
+  static Weight bidirectional_bounded_pair(DijkstraEngine& fwd,
+                                           DijkstraEngine& bwd, std::size_t n,
+                                           Vertex s, Vertex t,
+                                           const VertexSet* faults,
+                                           Weight bound, VisitArcs&& visit) {
+    if (s == t) return 0;
+    fwd.ensure(n);
+    bwd.ensure(n);
+    fwd.next_epoch();
+    bwd.next_epoch();
+    fwd.heap_.clear();
+    bwd.heap_.clear();
+    fwd.order_.clear();
+    bwd.order_.clear();
+    if (faults != nullptr && (faults->contains(s) || faults->contains(t)))
+      return kInfiniteWeight;
+
+    fwd.seed_source(s);
+    bwd.seed_source(t);
+    Weight mu = kInfiniteWeight;
+
+    // Settles one vertex of `self`, relaxing its arcs and improving the best
+    // meeting length mu against `other`'s stamped (tentative or final)
+    // distances — every such combination is the length of a real s-t path.
+    const auto expand = [&](DijkstraEngine& self, DijkstraEngine& other) {
+      while (!self.heap_.empty()) {
+        const HeapItem item = self.heap_pop();
+        const Vertex v = item.v;
+        if (self.done_[v] == self.epoch_) continue;  // stale duplicate
+        self.done_[v] = self.epoch_;
+        if (other.stamp_[v] == other.epoch_)
+          mu = std::min(mu, item.d + other.dist_[v]);
+        visit(v, [&](Vertex to, Weight w, EdgeId edge) {
+          if (faults != nullptr && faults->contains(to)) return;
+          if (self.done_[to] == self.epoch_) return;
+          const Weight nd = item.d + w;
+          if (nd > bound) return;
+          if (self.stamp_[to] != self.epoch_ || nd < self.dist_[to]) {
+            self.stamp_[to] = self.epoch_;
+            self.dist_[to] = nd;
+            self.parent_[to] = v;
+            self.via_[to] = edge;
+            self.heap_push({nd, to});
+            if (other.stamp_[to] == other.epoch_)
+              mu = std::min(mu, nd + other.dist_[to]);
+          }
+        });
+        return;
+      }
+    };
+
+    for (;;) {
+      const Weight top_f =
+          fwd.heap_.empty() ? kInfiniteWeight : fwd.heap_.front().d;
+      const Weight top_b =
+          bwd.heap_.empty() ? kInfiniteWeight : bwd.heap_.front().d;
+      if (top_f >= kInfiniteWeight && top_b >= kInfiniteWeight) break;
+      const Weight reach = top_f + top_b;
+      if (reach >= mu || reach > bound) break;
+      if (top_f <= top_b)
+        expand(fwd, bwd);
+      else
+        expand(bwd, fwd);
+    }
+    // If d(s,t) <= bound then mu == d(s,t) exactly up to the rounding noted
+    // above (classical bidirectional termination argument); otherwise mu is
+    // the length of some witnessed longer path, or infinity — either way on
+    // the "> bound" side.
+    return mu;
+  }
+
+  // --- epoch plumbing (exposed for the rollover test) ----------------------
+
+  std::uint32_t debug_epoch() const { return epoch_; }
+  /// Test hook: jump the epoch counter (e.g. to just below the 32-bit wrap)
+  /// so the rollover path is exercisable without 2^32 runs.
+  void debug_set_epoch(std::uint32_t e) { epoch_ = e; }
+
+ private:
+  struct HeapItem {
+    Weight d;
+    Vertex v;
+  };
+
+  void seed_source(Vertex s) {
+    stamp_[s] = epoch_;
+    dist_[s] = 0;
+    parent_[s] = kInvalidVertex;
+    via_[s] = kInvalidEdge;
+    heap_push({0, s});
+  }
+
+  // 4-ary min-heap: shallower than a binary heap (fewer cache-missing levels
+  // per sift) and branch-friendly on the 4-child min scan.
+  void heap_push(HeapItem item) {
+    heap_.push_back(item);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t p = (i - 1) >> 2;
+      if (heap_[p].d <= heap_[i].d) break;
+      std::swap(heap_[p], heap_[i]);
+      i = p;
+    }
+  }
+
+  HeapItem heap_pop() {
+    const HeapItem top = heap_.front();
+    const HeapItem last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      std::size_t i = 0;
+      const std::size_t n = heap_.size();
+      for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c)
+          if (heap_[c].d < heap_[best].d) best = c;
+        if (heap_[best].d >= last.d) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  void ensure(std::size_t n);
+  void next_epoch();
+
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;         ///< dist/parent/via valid iff == epoch_
+  std::vector<std::uint32_t> done_;          ///< settled iff == epoch_
+  std::vector<std::uint32_t> target_stamp_;  ///< target of this run iff == epoch_
+  std::vector<Weight> dist_;
+  std::vector<Vertex> parent_;
+  std::vector<EdgeId> via_;
+  std::vector<HeapItem> heap_;
+  std::vector<Vertex> order_;
+
+  template <class G>
+  static auto arc_visitor(const G& g) {
+    return [&g](Vertex v, auto&& relax) {
+      for (const auto& a : out_arcs(g, v)) relax(a.to, a.w, a.edge);
+    };
+  }
+};
+
+}  // namespace ftspan

@@ -19,6 +19,18 @@ inline constexpr Vertex kInvalidVertex = std::numeric_limits<Vertex>::max();
 inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
 inline constexpr Weight kInfiniteWeight = std::numeric_limits<Weight>::infinity();
 
+/// Relative slack applied to a stretch bound before a distance is compared
+/// against it, so that floating-point ties ("distance exactly k * w") land on
+/// the reachable side. Shared by every construction that bounds a
+/// shortest-path search by k * w(e).
+inline constexpr double kStretchSlack = 1e-12;
+
+/// Relative tolerance used when a *measured* stretch is compared against the
+/// certified bound k (validators accept stretch <= k * (1 + tolerance)).
+/// Looser than kStretchSlack because measured stretches accumulate rounding
+/// from two independent shortest-path sums.
+inline constexpr double kStretchCheckTolerance = 1e-9;
+
 /// An undirected edge {u, v} with length w.
 struct Edge {
   Vertex u = kInvalidVertex;

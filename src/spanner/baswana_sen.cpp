@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace ftspan {
 
@@ -55,19 +54,35 @@ std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
                             -1.0 / static_cast<double>(k));
 
   std::vector<char> sampled(n, 0);
-  // Per-vertex scratch: lightest surviving edge to each adjacent cluster.
-  std::unordered_map<std::uint32_t, EdgeId> lightest;
+  // Per-vertex scratch: lightest surviving edge to each adjacent cluster,
+  // kept in epoch-stamped flat arrays (cluster ids are vertex ids, so they
+  // index directly). Compared to a hash map this allocates nothing per
+  // vertex and iterates adjacent clusters in first-seen adjacency order —
+  // deterministic and platform-independent.
+  std::vector<std::uint32_t> seen(n, 0);
+  std::vector<EdgeId> light_edge(n, kInvalidEdge);
+  std::vector<std::uint32_t> adjacent;  // adjacent cluster ids, first-seen order
+  adjacent.reserve(n);
+  std::uint32_t scan = 0;
 
   auto lightest_edges_to_clusters =
       [&](Vertex v, const std::vector<std::uint32_t>& clus) {
-        lightest.clear();
+        if (++scan == 0) {  // epoch wrap: stale stamps would read as current
+          std::fill(seen.begin(), seen.end(), 0u);
+          scan = 1;
+        }
+        adjacent.clear();
         for (const Arc& a : g.neighbors(v)) {
           if (removed[a.edge]) continue;
           const std::uint32_t c = clus[a.to];
           if (c == kUnclustered) continue;
-          const auto it = lightest.find(c);
-          if (it == lightest.end() || g.edge(a.edge).w < g.edge(it->second).w)
-            lightest[c] = a.edge;
+          if (seen[c] != scan) {
+            seen[c] = scan;
+            light_edge[c] = a.edge;
+            adjacent.push_back(c);
+          } else if (g.edge(a.edge).w < g.edge(light_edge[c]).w) {
+            light_edge[c] = a.edge;
+          }
         }
       };
 
@@ -96,8 +111,9 @@ std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
       // Lightest edge into any *sampled* adjacent cluster.
       EdgeId best = kInvalidEdge;
       std::uint32_t best_cluster = kUnclustered;
-      for (const auto& [c, id] : lightest) {
+      for (const std::uint32_t c : adjacent) {
         if (!sampled[c]) continue;
+        const EdgeId id = light_edge[c];
         if (best == kInvalidEdge || g.edge(id).w < g.edge(best).w) {
           best = id;
           best_cluster = c;
@@ -107,8 +123,8 @@ std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
       if (best == kInvalidEdge) {
         // No sampled neighbor: keep one lightest edge per adjacent cluster,
         // discard the rest, and leave the clustering.
-        for (const auto& [c, id] : lightest) {
-          spanner.push_back(id);
+        for (const std::uint32_t c : adjacent) {
+          spanner.push_back(light_edge[c]);
           drop_edges_to_cluster(v, c, prev);
         }
         cluster[v] = kUnclustered;
@@ -117,8 +133,9 @@ std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
         // every adjacent cluster strictly lighter than `best`.
         spanner.push_back(best);
         const Weight bw = g.edge(best).w;
-        for (const auto& [c, id] : lightest) {
+        for (const std::uint32_t c : adjacent) {
           if (c == best_cluster) continue;
+          const EdgeId id = light_edge[c];
           if (g.edge(id).w < bw) {
             spanner.push_back(id);
             drop_edges_to_cluster(v, c, prev);
@@ -135,8 +152,8 @@ std::vector<EdgeId> baswana_sen_spanner(const Graph& g, std::size_t k,
   for (Vertex v = 0; v < n; ++v) {
     if (!alive(v)) continue;
     lightest_edges_to_clusters(v, cluster);
-    for (const auto& [c, id] : lightest) {
-      spanner.push_back(id);
+    for (const std::uint32_t c : adjacent) {
+      spanner.push_back(light_edge[c]);
       drop_edges_to_cluster(v, c, cluster);
     }
   }

@@ -2,25 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
+#include "graph/csr.hpp"
+#include "graph/sp_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ftspan {
-
-namespace {
-
-struct QueueItem {
-  Weight dist;
-  Vertex v;
-  bool operator>(const QueueItem& o) const { return dist > o.dist; }
-};
-
-using MinQueue =
-    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
-
-}  // namespace
 
 DistanceOracle::DistanceOracle(const Graph& g, std::size_t k,
                                std::uint64_t seed, const VertexSet* faults)
@@ -47,27 +35,21 @@ DistanceOracle::DistanceOracle(const Graph& g, std::size_t k,
   witness_dist_.assign(k_ + 1, std::vector<Weight>(n_, kInfiniteWeight));
   bunch_.assign(n_, {});
 
+  // One CSR snapshot and one pooled engine serve every search below.
+  const Csr csr(g);
+  DijkstraEngine engine;
+
   // Multi-source Dijkstra per level for witnesses p_i(v) = nearest of A_i.
+  // Witnesses propagate down the shortest-path tree: settle order guarantees
+  // a vertex's final parent is settled before it, so one forward pass labels
+  // every vertex with its tree root.
   for (std::size_t i = 0; i < k_; ++i) {
-    MinQueue q;
-    for (Vertex s : levels[i]) {
-      witness_dist_[i][s] = 0;
-      witness_[i][s] = s;
-      q.push({0, s});
-    }
-    while (!q.empty()) {
-      const auto [d, v] = q.top();
-      q.pop();
-      if (d > witness_dist_[i][v]) continue;
-      for (const Arc& a : g.neighbors(v)) {
-        if (!alive(a.to)) continue;
-        const Weight nd = d + a.w;
-        if (nd < witness_dist_[i][a.to]) {
-          witness_dist_[i][a.to] = nd;
-          witness_[i][a.to] = witness_[i][v];
-          q.push({nd, a.to});
-        }
-      }
+    if (levels[i].empty()) continue;
+    engine.run_multi(csr, levels[i], faults);
+    for (const Vertex v : engine.settle_order()) {
+      witness_dist_[i][v] = engine.dist(v);
+      const Vertex parent = engine.parent(v);
+      witness_[i][v] = parent == kInvalidVertex ? v : witness_[i][parent];
     }
   }
   // Level k: empty set, distance infinity (already initialized).
@@ -83,25 +65,9 @@ DistanceOracle::DistanceOracle(const Graph& g, std::size_t k,
 
     for (Vertex w : levels[i]) {
       if (in_next[w]) continue;
-      std::vector<Weight> dist(n_, kInfiniteWeight);
-      MinQueue q;
-      dist[w] = 0;
-      q.push({0, w});
-      while (!q.empty()) {
-        const auto [d, v] = q.top();
-        q.pop();
-        if (d > dist[v]) continue;
-        bunch_[v][w] = d;
-        for (const Arc& a : g.neighbors(v)) {
-          if (!alive(a.to)) continue;
-          const Weight nd = d + a.w;
-          if (nd >= witness_dist_[i + 1][a.to]) continue;  // strict: < d(v,A_{i+1})
-          if (nd < dist[a.to]) {
-            dist[a.to] = nd;
-            q.push({nd, a.to});
-          }
-        }
-      }
+      engine.run_pruned(csr, w, faults, witness_dist_[i + 1].data());
+      for (const Vertex v : engine.settle_order())
+        bunch_[v][w] = engine.dist(v);
     }
   }
 }

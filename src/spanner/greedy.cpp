@@ -4,36 +4,134 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "graph/shortest_paths.hpp"
-
 namespace ftspan {
 
-std::vector<EdgeId> greedy_spanner(const Graph& g, double k,
-                                   const VertexSet* faults) {
-  if (k < 1.0) throw std::invalid_argument("greedy_spanner: k must be >= 1");
-
+GreedyContext::GreedyContext(const Graph& g) : graph(&g) {
+  // std::sort on ids, exactly as the historical per-call greedy did, so the
+  // visit order of equal-weight edges — and therefore every greedy output —
+  // is bit-identical to the pre-context implementation.
   std::vector<EdgeId> order(g.num_edges());
   for (EdgeId i = 0; i < g.num_edges(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
     return g.edge(a).w < g.edge(b).w;
   });
-
-  Graph h(g.num_vertices());
-  std::vector<EdgeId> kept;
-  for (EdgeId id : order) {
+  sorted.reserve(order.size());
+  for (const EdgeId id : order) {
     const Edge& e = g.edge(id);
+    sorted.push_back({e.u, e.v, e.w, id});
+  }
+}
+
+void GreedyWorkspace::reserve(std::size_t n, std::size_t max_edges) {
+  if (head_.size() < n) head_.resize(n, kNone);
+  pool_.reserve(2 * max_edges);
+  touched_.reserve(n);
+  kept_.reserve(max_edges);
+  // Each directed arc of the scratch spanner causes at most one heap push.
+  eng_.reserve(n, 2 * max_edges + 1);
+  bwd_.reserve(n, 2 * max_edges + 1);
+}
+
+void GreedyWorkspace::reset(std::size_t n) {
+  for (const Vertex v : touched_) head_[v] = kNone;
+  touched_.clear();
+  pool_.clear();
+  weights_exact_ = true;
+  weight_total_ = 0;
+  if (head_.size() < n) head_.resize(n, kNone);
+}
+
+void GreedyWorkspace::add_edge(Vertex u, Vertex v, Weight w) {
+  // Track whether every scratch weight is a non-negative integer and the
+  // total stays far below 2^53: then every path sum is exactly
+  // representable in any summation order, and bounded_pair can trust the
+  // bidirectional result bit-for-bit without its tie-window fallback.
+  weights_exact_ = weights_exact_ && w >= 0 && w == std::floor(w);
+  weight_total_ += w;
+  // Slot indices are 32-bit with kNone reserved; refuse before they wrap
+  // (same policy as the Graph/Csr 32-bit guards).
+  if (pool_.size() + 2 > kNone)
+    throw std::length_error(
+        "GreedyWorkspace: edge count exceeds the 32-bit slot space");
+  if (head_[u] == kNone) touched_.push_back(u);
+  if (head_[v] == kNone) touched_.push_back(v);
+  pool_.push_back({w, v, head_[u]});
+  head_[u] = static_cast<std::uint32_t>(pool_.size() - 1);
+  pool_.push_back({w, u, head_[v]});
+  head_[v] = static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+Weight GreedyWorkspace::bounded_pair(Vertex s, Vertex t,
+                                     const VertexSet* faults, Weight bound) {
+  // An endpoint with no incident scratch edge cannot reach anything: the
+  // common case early in every greedy pass, answered without a search.
+  if (head_[s] == kNone || head_[t] == kNone)
+    return s == t ? 0 : kInfiniteWeight;
+
+  const auto visit = [this](Vertex v, auto&& relax) {
+    for (std::uint32_t i = head_[v]; i != kNone; i = pool_[i].next)
+      relax(pool_[i].to, pool_[i].w, kInvalidEdge);
+  };
+
+  // Bidirectional fast path: two radius-bound/2 balls instead of one
+  // radius-bound ball (the bulk of the engine's speedup on these queries).
+  // It sums each path in two halves, so near the bound the result can sit
+  // an ulp away from the historical forward sum and flip the caller's
+  // "d > k*w" decision. Any result inside a relative tie window around the
+  // bound is therefore re-derived by the exact forward-accumulating search,
+  // which reproduces the pre-engine pair_distance bit-for-bit. The window
+  // (1e-8) exceeds the worst accumulated rounding (~ path hops * 2^-52,
+  // relative) by orders of magnitude for any graph this repo handles, and
+  // the bidirectional prune runs at bound * (1 + 2 * window) so a path that
+  // is borderline-reachable under the true bound is never clipped before
+  // the window test can send it to the exact search.
+  constexpr Weight kTieWindow = 1e-8;
+  const Weight fast = DijkstraEngine::bidirectional_bounded_pair(
+      eng_, bwd_, head_.size(), s, t, faults, bound * (1 + 2 * kTieWindow),
+      visit);
+  // All-integer weights (the common unweighted case): every path sum is
+  // exact in any summation order, so `fast` already equals the historical
+  // forward sum bit-for-bit and no tie is ever ambiguous.
+  if (weights_exact_ && weight_total_ < 4.0e15) return fast;
+  if (fast > bound * (1 + kTieWindow) || fast < bound * (1 - kTieWindow))
+    return fast;
+
+  // Tie region: the historical summation order is authoritative.
+  const Vertex src[1] = {s};
+  const Vertex tgt[1] = {t};
+  eng_.run_visit(head_.size(), {src, 1}, faults, bound, {tgt, 1}, nullptr,
+                 visit);
+  return eng_.dist(t);
+}
+
+std::span<const EdgeId> GreedyWorkspace::run(const GreedyContext& ctx,
+                                             double k,
+                                             const VertexSet* faults) {
+  if (k < 1.0) throw std::invalid_argument("greedy_spanner: k must be >= 1");
+  const Graph& g = *ctx.graph;
+  reserve(g.num_vertices(), g.num_edges());
+  reset(g.num_vertices());
+  kept_.clear();
+  for (const GreedyContext::OrderedEdge& e : ctx.sorted) {
     if (faults != nullptr && (faults->contains(e.u) || faults->contains(e.v)))
       continue;
-    // Distances above k * w(e) are irrelevant, so bound the search. A tiny
+    // Distances above k * w(e) are irrelevant, so bound the search; the
     // slack keeps floating-point ties ("exactly k*w") counted as reachable.
-    const Weight bound = k * e.w * (1 + 1e-12);
-    const Weight d = pair_distance(h, e.u, e.v, faults, bound);
-    if (d > k * e.w) {
-      h.add_edge(e.u, e.v, e.w);
-      kept.push_back(id);
+    const Weight bound = k * e.w * (1 + kStretchSlack);
+    if (bounded_pair(e.u, e.v, faults, bound) > k * e.w) {
+      add_edge(e.u, e.v, e.w);
+      kept_.push_back(e.id);
     }
   }
-  return kept;
+  return kept_;
+}
+
+std::vector<EdgeId> greedy_spanner(const Graph& g, double k,
+                                   const VertexSet* faults) {
+  const GreedyContext ctx(g);
+  GreedyWorkspace ws;
+  const auto kept = ws.run(ctx, k, faults);
+  return {kept.begin(), kept.end()};
 }
 
 Graph greedy_spanner_graph(const Graph& g, double k, const VertexSet* faults) {

@@ -2,52 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
 
+#include "graph/csr.hpp"
+#include "graph/sp_engine.hpp"
 #include "util/rng.hpp"
 
 namespace ftspan {
-
-namespace {
-
-struct QueueItem {
-  Weight dist;
-  Vertex v;
-  bool operator>(const QueueItem& o) const { return dist > o.dist; }
-};
-
-using MinQueue =
-    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
-
-/// Multi-source Dijkstra: dist[v] = d(v, sources) on G \ faults.
-std::vector<Weight> multi_source_distance(const Graph& g,
-                                          const std::vector<Vertex>& sources,
-                                          const VertexSet* faults) {
-  std::vector<Weight> dist(g.num_vertices(), kInfiniteWeight);
-  MinQueue q;
-  for (Vertex s : sources) {
-    if (faults != nullptr && faults->contains(s)) continue;
-    dist[s] = 0;
-    q.push({0, s});
-  }
-  while (!q.empty()) {
-    const auto [d, v] = q.top();
-    q.pop();
-    if (d > dist[v]) continue;
-    for (const Arc& a : g.neighbors(v)) {
-      if (faults != nullptr && faults->contains(a.to)) continue;
-      const Weight nd = d + a.w;
-      if (nd < dist[a.to]) {
-        dist[a.to] = nd;
-        q.push({nd, a.to});
-      }
-    }
-  }
-  return dist;
-}
-
-}  // namespace
 
 std::vector<EdgeId> thorup_zwick_spanner(const Graph& g, std::size_t k,
                                          std::uint64_t seed,
@@ -76,7 +37,11 @@ std::vector<EdgeId> thorup_zwick_spanner(const Graph& g, std::size_t k,
   const double p = std::pow(static_cast<double>(std::max<std::size_t>(level.size(), 2)),
                             -1.0 / static_cast<double>(k));
 
+  // One CSR snapshot and one pooled engine serve every search below.
+  const Csr csr(g);
+  DijkstraEngine engine;
   std::vector<char> keep_edge(g.num_edges(), 0);
+  std::vector<Weight> next_dist(n, kInfiniteWeight);
 
   for (std::size_t i = 0; i < k && !level.empty(); ++i) {
     // Sample A_{i+1} (empty at the last level).
@@ -86,9 +51,11 @@ std::vector<EdgeId> thorup_zwick_spanner(const Graph& g, std::size_t k,
         if (rng.bernoulli(p)) next.push_back(v);
 
     // d(v, A_{i+1}); infinity when A_{i+1} is empty.
-    const std::vector<Weight> next_dist =
-        next.empty() ? std::vector<Weight>(n, kInfiniteWeight)
-                     : multi_source_distance(g, next, faults);
+    std::fill(next_dist.begin(), next_dist.end(), kInfiniteWeight);
+    if (!next.empty()) {
+      engine.run_multi(csr, next, faults);
+      for (const Vertex v : engine.settle_order()) next_dist[v] = engine.dist(v);
+    }
 
     // Centers of level i are A_i \ A_{i+1}.
     std::vector<char> in_next(n, 0);
@@ -98,27 +65,9 @@ std::vector<EdgeId> thorup_zwick_spanner(const Graph& g, std::size_t k,
       if (in_next[w]) continue;
       // Truncated Dijkstra growing C(w) = { v : d(w,v) < d(v, A_{i+1}) };
       // keep the tree edges.
-      std::vector<Weight> dist(n, kInfiniteWeight);
-      std::vector<EdgeId> via(n, kInvalidEdge);
-      MinQueue q;
-      dist[w] = 0;
-      q.push({0, w});
-      while (!q.empty()) {
-        const auto [d, v] = q.top();
-        q.pop();
-        if (d > dist[v]) continue;
-        if (via[v] != kInvalidEdge) keep_edge[via[v]] = 1;
-        for (const Arc& a : g.neighbors(v)) {
-          if (!alive(a.to)) continue;
-          const Weight nd = d + a.w;
-          if (nd >= next_dist[a.to]) continue;  // outside the cluster
-          if (nd < dist[a.to]) {
-            dist[a.to] = nd;
-            via[a.to] = a.edge;
-            q.push({nd, a.to});
-          }
-        }
-      }
+      engine.run_pruned(csr, w, faults, next_dist.data());
+      for (const Vertex v : engine.settle_order())
+        if (engine.via(v) != kInvalidEdge) keep_edge[engine.via(v)] = 1;
     }
 
     level = std::move(next);

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/sp_engine.hpp"
 #include "util/rng.hpp"
-#include "validate/scratch.hpp"
 
 namespace ftspan {
 
@@ -21,7 +21,7 @@ FtCheckResult max_edge_stretch_sets(const Graph& g, const Graph& h, double k,
 
 bool is_k_spanner(const Graph& g, const Graph& h, double k,
                   const VertexSet* faults) {
-  return max_edge_stretch(g, h, faults) <= k * (1 + 1e-9);
+  return max_edge_stretch(g, h, faults) <= k * (1 + kStretchCheckTolerance);
 }
 
 double sampled_pair_stretch(const Graph& g, const Graph& h,
@@ -30,7 +30,7 @@ double sampled_pair_stretch(const Graph& g, const Graph& h,
   const std::size_t n = g.num_vertices();
   if (n < 2) return 1.0;
   Rng rng(seed);
-  DijkstraScratch dg, dh;
+  DijkstraEngine dg, dh;
   double worst = 1.0;
   for (std::size_t i = 0; i < samples; ++i) {
     const Vertex u = static_cast<Vertex>(rng.uniform_index(n));

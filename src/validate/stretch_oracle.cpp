@@ -21,7 +21,7 @@ void FtCheckResult::consider(double stretch, const VertexSet& faults, Vertex u,
     witness_u = u;
     witness_v = v;
   }
-  if (stretch > k * (1 + 1e-9)) valid = false;
+  if (stretch > k * (1 + kStretchCheckTolerance)) valid = false;
 }
 
 std::size_t count_fault_sets(std::size_t n, std::size_t r) {
@@ -94,7 +94,7 @@ void for_each_combination(std::size_t n, std::size_t size, Fn&& fn) {
 
 template <class G>
 BasicStretchOracle<G>::BasicStretchOracle(const G& g, const G& h, double k)
-    : g_(&g), h_(&h), k_(k) {
+    : g_(&g), h_(&h), cg_(g), ch_(h), k_(k) {
   if (g.num_vertices() != h.num_vertices())
     throw std::invalid_argument("StretchOracle: vertex count mismatch");
 }
@@ -117,7 +117,7 @@ typename BasicStretchOracle<G>::Witness BasicStretchOracle<G>::evaluate(
     if (faults.contains(u)) continue;
     s.targets.clear();
     Weight bound = 0;
-    for (const Arc& a : out_arcs(*g_, u)) {
+    for (const CsrArc& a : cg_.out(u)) {
       if constexpr (kUndirected)
         if (a.to < u) continue;  // each edge once
       if (faults.contains(a.to)) continue;
@@ -128,8 +128,8 @@ typename BasicStretchOracle<G>::Witness BasicStretchOracle<G>::evaluate(
     // A surviving edge (u, v) has d_{G\F}(u, v) <= w(u, v) <= bound, so the
     // bounded G-run is still exact for every target; the H-run stops once
     // all targets are settled.
-    s.dg.run(*g_, u, &faults, s.targets, bound);
-    s.dh.run(*h_, u, &faults, s.targets);
+    s.dg.run(cg_, u, &faults, s.targets, bound);
+    s.dh.run(ch_, u, &faults, s.targets);
     for (const Vertex v : s.targets) {
       const Weight dg = s.dg.dist(v);
       if (!(dg < kInfiniteWeight) || dg <= 0) continue;
@@ -186,7 +186,7 @@ FtCheckResult BasicStretchOracle<G>::run_indexed(std::size_t count,
       out.worst_stretch = witnesses[i].stretch;
       best = i;
     }
-  if (out.worst_stretch > k_ * (1 + 1e-9)) out.valid = false;
+  if (out.worst_stretch > k_ * (1 + kStretchCheckTolerance)) out.valid = false;
   if (best != count) {
     out.witness_u = witnesses[best].u;
     out.witness_v = witnesses[best].v;
@@ -272,7 +272,7 @@ FtCheckResult BasicStretchOracle<G>::check_sampled(
     s.faults.clear();
     const Vertex target[1] = {e.v};
     for (std::size_t step = 0; step < r; ++step) {
-      s.dh.run(*h_, e.u, &s.faults, std::span<const Vertex>(target, 1));
+      s.dh.run(ch_, e.u, &s.faults, std::span<const Vertex>(target, 1));
       if (!s.dh.reachable(e.v)) break;  // already disconnected in H \ F
       s.interior.clear();
       for (Vertex x = s.dh.parent(e.v); x != kInvalidVertex && x != e.u;
@@ -292,10 +292,10 @@ FtCheckResult BasicStretchOracle<G>::check_sampled(
     const auto& e = g_->edge(*probed);
     if (s.faults.contains(e.u) || s.faults.contains(e.v)) return {};
     const Vertex target[1] = {e.v};
-    s.dg.run(*g_, e.u, &s.faults, std::span<const Vertex>(target, 1), e.w);
+    s.dg.run(cg_, e.u, &s.faults, std::span<const Vertex>(target, 1), e.w);
     const Weight dg = s.dg.dist(e.v);
     if (!(dg < kInfiniteWeight) || dg <= 0) return {};
-    s.dh.run(*h_, e.u, &s.faults, std::span<const Vertex>(target, 1));
+    s.dh.run(ch_, e.u, &s.faults, std::span<const Vertex>(target, 1));
     const Weight dh = s.dh.dist(e.v);
     const double stretch = dh < kInfiniteWeight ? dh / dg : kInfiniteWeight;
     return {stretch, e.u, e.v};

@@ -11,8 +11,10 @@
 //      surviving incident edge length (d_{G\F}(u,v) <= w(u,v) for a
 //      surviving edge), and both runs stop as soon as every incident target
 //      is settled.
-//   2. Epoch-stamped scratch buffers (validate/scratch.hpp) reused across
-//      fault sets: no per-run allocation, O(1) invalidation.
+//   2. The shared shortest-path engine (graph/sp_engine.hpp): epoch-stamped
+//      scratch reused across fault sets — no per-run allocation, O(1)
+//      invalidation — running over immutable CSR snapshots of both graphs
+//      taken once at oracle construction.
 //   3. Independent fault sets fanned across util/thread_pool.hpp workers,
 //      each with private scratch. Per-set witnesses land in an index-ordered
 //      array and are folded sequentially, so the worst witness — and the
@@ -25,9 +27,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/graph.hpp"
+#include "graph/sp_engine.hpp"
 #include "util/rng.hpp"
-#include "validate/scratch.hpp"
 
 namespace ftspan {
 
@@ -88,10 +91,10 @@ class BasicStretchOracle {
   const G& spanner() const { return *h_; }
   double stretch_bound() const { return k_; }
 
-  /// Per-worker scratch: epoch-stamped distance arrays for G and H plus the
-  /// reusable target/pool buffers. One per thread; never shared.
+  /// Per-worker scratch: one pooled Dijkstra engine each for G and H plus
+  /// the reusable target/pool buffers. One per thread; never shared.
   struct Scratch {
-    DijkstraScratch dg, dh;
+    DijkstraEngine dg, dh;
     std::vector<Vertex> targets;
     std::vector<Vertex> pool;
     std::vector<Vertex> interior;
@@ -140,6 +143,8 @@ class BasicStretchOracle {
 
   const G* g_;
   const G* h_;
+  Csr cg_;  ///< flat snapshot of *g_, shared read-only by all workers
+  Csr ch_;  ///< flat snapshot of *h_
   double k_;
 };
 

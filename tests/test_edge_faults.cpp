@@ -69,6 +69,11 @@ TEST(EdgeFt, RejectsR0) {
                std::invalid_argument);
 }
 
+TEST(EdgeFt, RejectsKBelowOne) {
+  EXPECT_THROW(ft_edge_greedy_spanner(path(3), 0.5, 1, 1),
+               std::invalid_argument);
+}
+
 TEST(DistancesAvoidingEdges, MasksCorrectly) {
   const Graph g = cycle(6);  // two routes between any pair
   std::vector<char> dead(g.num_edges(), 0);

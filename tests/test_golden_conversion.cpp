@@ -1,0 +1,103 @@
+// Golden-seed bit-identity for the Theorem 2.1 conversion.
+//
+// The expected hashes below were captured from the pre-engine implementation
+// (adjacency-list greedy + per-call pair_distance, commit 6a18ca8) on
+// gnp(400, 0.05, 1234), k = 3, r = 2, iteration_constant = 0.25. The CSR +
+// pooled-engine hot path must reproduce every edge set bit-for-bit, at every
+// thread count — the refactor is a pure performance change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ftspanner/conversion.hpp"
+#include "ftspanner/edge_faults.hpp"
+#include "graph/generators.hpp"
+
+namespace ftspan {
+namespace {
+
+std::uint64_t fnv1a(const std::vector<EdgeId>& edges) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const EdgeId e : edges)
+    for (int i = 0; i < 8; ++i) {
+      h ^= (static_cast<std::uint64_t>(e) >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  return h;
+}
+
+struct Golden {
+  std::uint64_t seed;
+  std::size_t edges;
+  std::uint64_t hash;
+};
+
+// One row per conversion seed; each must hold at threads 1, 2, 4, and 8.
+constexpr Golden kGolden[] = {
+    {1, 4033, 0xea91477888d16344ull},
+    {7, 4028, 0xfef289fb1141209cull},
+    {42, 4030, 0x2c7feb972a4d3910ull},
+};
+
+TEST(GoldenConversion, FtGreedySpannerBitIdenticalAcrossRefactorAndThreads) {
+  const Graph g = gnp(400, 0.05, 1234);
+  for (const Golden& want : kGolden) {
+    std::vector<EdgeId> at_one_thread;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ConversionOptions opt;
+      opt.threads = threads;
+      opt.iteration_constant = 0.25;
+      const auto res = ft_greedy_spanner(g, 3.0, 2, want.seed, opt);
+      EXPECT_EQ(res.edges.size(), want.edges)
+          << "seed=" << want.seed << " threads=" << threads;
+      EXPECT_EQ(fnv1a(res.edges), want.hash)
+          << "seed=" << want.seed << " threads=" << threads;
+      if (threads == 1)
+        at_one_thread = res.edges;
+      else
+        EXPECT_EQ(res.edges, at_one_thread)
+            << "thread count changed the output at seed " << want.seed;
+    }
+  }
+}
+
+// Same contract for the edge-fault conversion, on both a unit-weight graph
+// (every edge weight tied — the case where greedy visit order is most
+// fragile) and a distinct-weight graph. Hashes captured from commit 6a18ca8
+// on gnp(200, 0.06, 5[, 10.0]), k = 5, r = 2, iteration_constant = 0.2.
+constexpr Golden kGoldenEdgeUnit[] = {
+    {3, 1194, 0xcc9d282eb433da20ull},
+    {9, 1187, 0x65d2f23ba63c0f9full},
+};
+constexpr Golden kGoldenEdgeWeighted[] = {
+    {3, 771, 0x29f4603432f4de74ull},
+    {9, 781, 0xb856f65238c06602ull},
+};
+
+void check_edge_goldens(const Graph& g, std::span<const Golden> want) {
+  for (const Golden& row : want) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      EdgeFtOptions opt;
+      opt.threads = threads;
+      opt.iteration_constant = 0.2;
+      const auto res = ft_edge_greedy_spanner(g, 5.0, 2, row.seed, opt);
+      EXPECT_EQ(res.edges.size(), row.edges)
+          << "seed=" << row.seed << " threads=" << threads;
+      EXPECT_EQ(fnv1a(res.edges), row.hash)
+          << "seed=" << row.seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(GoldenConversion, FtEdgeGreedySpannerBitIdenticalUnitWeights) {
+  check_edge_goldens(gnp(200, 0.06, 5), kGoldenEdgeUnit);
+}
+
+TEST(GoldenConversion, FtEdgeGreedySpannerBitIdenticalDistinctWeights) {
+  check_edge_goldens(gnp(200, 0.06, 5, 10.0), kGoldenEdgeWeighted);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -176,5 +176,21 @@ TEST(Digraph, TotalCost) {
   EXPECT_DOUBLE_EQ(g.total_cost(), 4.0);
 }
 
+// Edge hashing packs (u << 32) | v into 64 bits, so a vertex universe at or
+// above 2^32 would make the hash non-injective (and ids unrepresentable in
+// the 32-bit Vertex type). The constructors must refuse before allocating.
+TEST(Graph, RejectsVertexCountBeyond32BitIdSpace) {
+  const std::size_t too_many = static_cast<std::size_t>(kInvalidVertex) + 1;
+  EXPECT_THROW(Graph{too_many}, std::invalid_argument);
+  EXPECT_THROW(Graph{too_many + 5}, std::invalid_argument);
+  EXPECT_NO_THROW(Graph{0});
+}
+
+TEST(Digraph, RejectsVertexCountBeyond32BitIdSpace) {
+  const std::size_t too_many = static_cast<std::size_t>(kInvalidVertex) + 1;
+  EXPECT_THROW(Digraph{too_many}, std::invalid_argument);
+  EXPECT_NO_THROW(Digraph{0});
+}
+
 }  // namespace
 }  // namespace ftspan

@@ -1,0 +1,209 @@
+// DijkstraEngine / Csr tests: equivalence with the public dijkstra() wrapper,
+// targeted early exit, epoch rollover of the pooled scratch, and the
+// zero-allocation guarantee for the conversion inner loop.
+//
+// This translation unit overrides the global allocation functions with
+// counting wrappers so the hot-loop tests can assert an exact allocation
+// count of zero after warm-up.
+#include "graph/sp_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "ftspanner/conversion.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+#include "spanner/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ftspan {
+namespace {
+
+Graph weighted_test_graph() {
+  Graph g(8);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 1.5);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 2, 1.0);
+  g.add_edge(2, 5, 4.0);
+  g.add_edge(5, 6, 0.5);
+  g.add_edge(1, 6, 10.0);
+  // vertex 7 isolated
+  return g;
+}
+
+TEST(DijkstraEngine, MatchesReferenceDijkstra) {
+  const Graph g = gnp(60, 0.1, 7);
+  DijkstraEngine eng;
+  for (Vertex s = 0; s < g.num_vertices(); s += 7) {
+    const auto ref = dijkstra(g, s);
+    eng.run(g, s);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(eng.dist(v), ref.dist[v]) << "s=" << s << " v=" << v;
+      EXPECT_EQ(eng.parent(v), ref.parent[v]) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(DijkstraEngine, CsrViewMatchesAdjacencyView) {
+  const Graph g = gnp(60, 0.1, 8);
+  const Csr csr(g);
+  ASSERT_EQ(csr.num_vertices(), g.num_vertices());
+  ASSERT_EQ(csr.num_arcs(), 2 * g.num_edges());
+  // The snapshot preserves per-vertex arc order exactly.
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto arcs = g.neighbors(v);
+    const auto flat = csr.out(v);
+    ASSERT_EQ(arcs.size(), flat.size());
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      EXPECT_EQ(arcs[i].to, flat[i].to);
+      EXPECT_EQ(arcs[i].edge, flat[i].edge);
+      EXPECT_EQ(arcs[i].w, flat[i].w);
+    }
+  }
+  DijkstraEngine a, b;
+  for (Vertex s = 0; s < g.num_vertices(); s += 11) {
+    a.run(g, s);
+    b.run(csr, s);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(a.dist(v), b.dist(v));
+      EXPECT_EQ(a.parent(v), b.parent(v));
+      EXPECT_EQ(a.via(v), b.via(v));
+    }
+  }
+}
+
+TEST(DijkstraEngine, BoundAndFaultsMatchReference) {
+  const Graph g = weighted_test_graph();
+  VertexSet faults(g.num_vertices());
+  faults.insert(3);
+  const Weight bound = 4.0;
+  const auto ref = dijkstra(g, 0, &faults, bound);
+  DijkstraEngine eng;
+  eng.run(g, 0, &faults, {}, bound);
+  for (Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(eng.dist(v), ref.dist[v]) << "v=" << v;
+}
+
+TEST(DijkstraEngine, TargetedEarlyExitSettlesAllTargets) {
+  const Graph g = weighted_test_graph();
+  DijkstraEngine eng;
+  const Vertex targets[] = {2, 6};
+  eng.run(g, 0, nullptr, targets);
+  const auto ref = dijkstra(g, 0);
+  for (const Vertex t : targets) {
+    EXPECT_TRUE(eng.settled(t));
+    EXPECT_EQ(eng.dist(t), ref.dist[t]);
+  }
+}
+
+TEST(DijkstraEngine, BoundedPairMatchesPairDistance) {
+  const Graph g = gnp(50, 0.12, 9);
+  DijkstraEngine eng;
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vertex s = static_cast<Vertex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.num_vertices()) - 1));
+    const Vertex t = static_cast<Vertex>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.num_vertices()) - 1));
+    EXPECT_EQ(eng.bounded_pair(g, s, t), pair_distance(g, s, t));
+  }
+}
+
+TEST(DijkstraEngine, SettleOrderIsNonDecreasingAndParentFirst) {
+  const Graph g = gnp(40, 0.15, 4);
+  DijkstraEngine eng;
+  eng.run(g, 0);
+  Weight prev = 0;
+  std::vector<char> seen(g.num_vertices(), 0);
+  for (const Vertex v : eng.settle_order()) {
+    EXPECT_GE(eng.dist(v), prev);
+    prev = eng.dist(v);
+    if (eng.parent(v) != kInvalidVertex) EXPECT_TRUE(seen[eng.parent(v)]);
+    seen[v] = 1;
+  }
+}
+
+// The pooled scratch is invalidated by a 32-bit epoch bump; when the counter
+// wraps, stamps from 2^32 runs ago must not read as current. Jump the epoch
+// to just below the wrap and check results straddling it.
+TEST(DijkstraEngine, EpochRolloverKeepsResultsCorrect) {
+  const Graph g = weighted_test_graph();
+  const auto ref = dijkstra(g, 0);
+
+  DijkstraEngine eng;
+  eng.run(g, 0);  // stamps every reachable vertex at epoch 1
+  eng.debug_set_epoch(0xfffffffeu);
+  // Next run uses epoch 0xffffffff; the one after wraps to 0 -> reset to 1,
+  // the same value the first run used. Stale stamps must not leak through.
+  for (int run = 0; run < 3; ++run) {
+    eng.run(g, 1);  // different source: distances differ from the stale run
+    const auto ref1 = dijkstra(g, 1);
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(eng.dist(v), ref1.dist[v]) << "run=" << run << " v=" << v;
+  }
+  EXPECT_GE(eng.debug_epoch(), 1u);
+  EXPECT_LE(eng.debug_epoch(), 2u);  // wrapped: 0xffffffff -> 1 -> 2
+}
+
+TEST(DijkstraEngine, RunIsAllocationFreeAfterWarmUp) {
+  const Graph g = gnp(80, 0.1, 5);
+  const Csr csr(g);
+  DijkstraEngine eng;
+  eng.reserve(g.num_vertices(), 2 * g.num_edges() + 1);
+  eng.run(csr, 0);  // warm-up
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) eng.run(csr, s);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+// The conversion inner loop: sample a fault set, run the greedy base spanner
+// on G \ F through the pooled workspace. After one warm-up iteration the
+// whole loop must perform zero heap allocations.
+TEST(DijkstraEngine, ConversionInnerLoopIsAllocationFreeAfterWarmUp) {
+  const Graph g = gnp(120, 0.08, 6);
+  const GreedyContext ctx(g);
+  GreedyWorkspace ws;
+  VertexSet removed(g.num_vertices());
+
+  const auto iteration = [&](std::uint64_t it) {
+    Rng rng(hash_combine(11, it));
+    removed.clear();
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      if (!rng.bernoulli(0.8)) removed.insert(v);
+    return ws.run(ctx, 3.0, &removed).size();
+  };
+
+  std::size_t kept = iteration(0);  // warm-up
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::uint64_t it = 1; it <= 20; ++it) kept += iteration(it);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_GT(kept, 0u);
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace ftspan

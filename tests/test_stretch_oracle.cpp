@@ -1,5 +1,5 @@
 // Unit tests for the StretchOracle subsystem (src/validate/): the
-// epoch-stamped Dijkstra scratch and the batched oracle itself.
+// shared pooled Dijkstra engine and the batched oracle itself.
 #include "validate/stretch_oracle.hpp"
 
 #include <gtest/gtest.h>
@@ -14,9 +14,9 @@
 namespace ftspan {
 namespace {
 
-TEST(DijkstraScratch, MatchesDijkstraAcrossReusedRuns) {
+TEST(DijkstraEngine, MatchesDijkstraAcrossReusedRuns) {
   const Graph g = gnp(40, 0.15, 7, 5.0);
-  DijkstraScratch scratch;
+  DijkstraEngine scratch;
   // Reuse the same scratch for many sources; each run must invalidate the
   // previous one completely (the epoch stamp, not an O(n) clear).
   for (Vertex s = 0; s < g.num_vertices(); s += 3) {
@@ -29,32 +29,32 @@ TEST(DijkstraScratch, MatchesDijkstraAcrossReusedRuns) {
   }
 }
 
-TEST(DijkstraScratch, RespectsFaultMask) {
+TEST(DijkstraEngine, RespectsFaultMask) {
   const Graph g = gnp(30, 0.2, 3);
   const VertexSet faults(30, {2, 11, 17});
-  DijkstraScratch scratch;
+  DijkstraEngine scratch;
   scratch.run(g, 0, &faults);
   const auto ref = dijkstra(g, 0, &faults);
   for (Vertex v = 0; v < g.num_vertices(); ++v)
     EXPECT_EQ(scratch.dist(v), ref.dist[v]) << "v=" << v;
 }
 
-TEST(DijkstraScratch, TargetedRunSettlesTargetsExactly) {
+TEST(DijkstraEngine, TargetedRunSettlesTargetsExactly) {
   const Graph g = gnp(50, 0.12, 11, 3.0);
   const auto ref = dijkstra(g, 5);
-  DijkstraScratch scratch;
+  DijkstraEngine scratch;
   const std::vector<Vertex> targets{1, 17, 33, 49};
   scratch.run(g, 5, nullptr, targets);
   for (const Vertex t : targets)
     EXPECT_EQ(scratch.dist(t), ref.dist[t]) << "t=" << t;
 }
 
-TEST(DijkstraScratch, ParentChainOfSettledTargetIsAShortestPath) {
+TEST(DijkstraEngine, ParentChainOfSettledTargetIsAShortestPath) {
   const Graph g = gnp(40, 0.15, 13, 4.0);
   const Vertex source = 0, target = 31;
   const auto ref = dijkstra(g, source);
   if (!ref.reachable(target)) GTEST_SKIP();
-  DijkstraScratch scratch;
+  DijkstraEngine scratch;
   const Vertex t[1] = {target};
   scratch.run(g, source, nullptr, std::span<const Vertex>(t, 1));
   // Walk the parent chain and re-add the weights: must equal dist(target).
@@ -69,9 +69,9 @@ TEST(DijkstraScratch, ParentChainOfSettledTargetIsAShortestPath) {
   EXPECT_DOUBLE_EQ(walked, ref.dist[target]);
 }
 
-TEST(DijkstraScratch, BoundLeavesFarVerticesAtInfinity) {
+TEST(DijkstraEngine, BoundLeavesFarVerticesAtInfinity) {
   const Graph g = path(6);  // unit weights, distances 0..5 from vertex 0
-  DijkstraScratch scratch;
+  DijkstraEngine scratch;
   scratch.run(g, 0, nullptr, {}, /*bound=*/2.0);
   EXPECT_DOUBLE_EQ(scratch.dist(2), 2.0);
   EXPECT_EQ(scratch.dist(3), kInfiniteWeight);
