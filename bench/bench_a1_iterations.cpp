@@ -6,21 +6,27 @@
 // theory constant is conservative — small c already gives validity — which
 // is why ConversionOptions exposes it.
 //
-// `--json <path>` additionally writes the machine-readable throughput record
-// (conversion iterations/second on gnp(400, 0.05), r = 2, 1 thread) that
-// BENCH_pr4.json snapshots and the CI perf-smoke job compares against.
+// All execution runs through the unified scenario runner (src/runner): the
+// c-sweep is one exactly-validated scenario per (c, seed) cell, the thread
+// fan-out is a single threads-sweep scenario, and the perf-tracked cell IS
+// the `conv_throughput` preset — the same scenario `ftspan bench
+// conv_throughput` runs and BENCH_pr5.json snapshots.
+//
+// `--json <path>` writes the runner's JSON record for that preset; the CI
+// perf-smoke job compares its iters_per_sec against the committed baseline.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <vector>
 
-#include "ftspanner/conversion.hpp"
-#include "ftspanner/validate.hpp"
-#include "graph/generators.hpp"
+#include "runner/runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 using namespace ftspan;
+using runner::ScenarioSpec;
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
@@ -36,30 +42,39 @@ int main(int argc, char** argv) {
   std::printf("# A1: iteration-constant sweep for the Theorem 2.1 conversion\n");
   std::printf("# instance: G(16, 0.5), k = 3, r = 2; 10 seeds per cell\n");
 
-  const Graph g = gnp(16, 0.5, 99);
-  const std::size_t r = 2;
-
   banner("validity vs iteration constant c (alpha = c r^3 ln n)");
   Table t({"c", "alpha", "valid fraction", "mean |H|", "|H|/m"});
   for (const double c : {0.05, 0.1, 0.25, 0.5, 1.0, 2.0}) {
-    ConversionOptions opt;
-    opt.iteration_constant = c;
-    std::size_t valid = 0;
-    Stats size;
-    std::size_t alpha = 0;
+    // Ten seeds, one exactly-validated scenario each (seed formula 71s).
+    std::vector<ScenarioSpec> specs;
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      const auto res = ft_greedy_spanner(g, 3.0, r, seed * 71, opt);
-      alpha = res.iterations;
-      size.add(static_cast<double>(res.edges.size()));
-      if (check_ft_spanner_exact(g, g.edge_subgraph(res.edges), 3.0, r).valid)
-        ++valid;
+      ScenarioSpec s;
+      s.workload = "gnp";
+      s.n = {16};
+      s.p = 0.5;
+      s.wseed = 99;
+      s.algo = "ft_vertex";
+      s.k = {3.0};
+      s.r = {2};
+      s.c = c;
+      s.seed = seed * 71;
+      s.validate = "exact";
+      specs.push_back(std::move(s));
+    }
+    const runner::ScenarioReport report = runner::run_scenarios(specs);
+    std::size_t valid = 0, alpha = 0;
+    Stats size;
+    for (const runner::ScenarioCell& cell : report.cells) {
+      alpha = static_cast<std::size_t>(cell.stat("iterations"));
+      size.add(static_cast<double>(cell.edges));
+      if (cell.valid) ++valid;
     }
     t.row()
         .cell(c, 2)
         .cell(alpha)
         .cell(static_cast<double>(valid) / 10.0, 2)
         .cell(size.mean(), 1)
-        .cell(size.mean() / g.num_edges(), 3);
+        .cell(size.mean() / report.cells.front().m, 3);
   }
   t.print();
   std::printf(
@@ -72,73 +87,56 @@ int main(int argc, char** argv) {
   banner("iteration fan-out: G(512, 16/n), k = 3, r = 2, c = 1");
   std::printf("hardware threads available: %zu\n",
               ThreadPool::hardware_threads());
-  const Graph big = gnp(512, 16.0 / 512.0, 4242);
-  Table tt({"threads", "alpha", "|H|", "sec", "speedup"});
-  double seq_sec = 0;
-  std::vector<EdgeId> seq_edges;
-  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    ConversionOptions opt;
-    opt.threads = threads;
-    Timer timer;
-    const auto res = ft_greedy_spanner(big, 3.0, r, 4242, opt);
-    const double sec = timer.seconds();
-    if (threads == 1) {
-      seq_sec = sec;
-      seq_edges = res.edges;
-    } else if (res.edges != seq_edges) {
-      std::printf("WARNING: thread count changed the output!\n");
+  {
+    ScenarioSpec s;
+    s.workload = "gnp";
+    s.n = {512};
+    s.p = 16.0 / 512.0;
+    s.wseed = 4242;
+    s.algo = "ft_vertex";
+    s.k = {3.0};
+    s.r = {2};
+    s.seed = 4242;
+    s.threads = {1, 2, 4, 8};
+    s.validate = "none";
+    const runner::ScenarioReport report = runner::run_scenario(s);
+    const runner::ScenarioCell& seq = report.cells.front();
+    Table tt({"threads", "alpha", "|H|", "sec", "speedup"});
+    for (const runner::ScenarioCell& cell : report.cells) {
+      if (cell.edges_hash != seq.edges_hash)
+        std::printf("WARNING: thread count changed the output!\n");
+      tt.row()
+          .cell(cell.threads)
+          .cell(static_cast<std::size_t>(cell.stat("iterations")))
+          .cell(cell.edges)
+          .cell(cell.seconds_best, 3)
+          .cell(seq.seconds_best / cell.seconds_best, 2);
     }
-    tt.row()
-        .cell(threads)
-        .cell(res.iterations)
-        .cell(res.edges.size())
-        .cell(sec, 3)
-        .cell(seq_sec / sec, 2);
+    tt.print();
   }
-  tt.print();
 
-  // The perf-tracked cell: single-thread conversion-iteration throughput on
-  // the acceptance instance (ISSUE 4), gnp(400, 0.05), k = 3, r = 2, c = 1.
-  // Best of three timed runs, so one scheduler hiccup on a noisy host (CI!)
+  // The perf-tracked cell: the conv_throughput preset (gnp(400, 0.05),
+  // k = 3, r = 2, c = 1, 1 thread, best of 3 — ISSUE 4's acceptance
+  // instance). Best-of-3, so one scheduler hiccup on a noisy host (CI!)
   // does not read as a regression.
   banner("conversion throughput: gnp(400, 0.05), k = 3, r = 2, 1 thread");
-  const Graph perf_g = gnp(400, 0.05, 1234);
-  ConversionOptions perf_opt;
-  perf_opt.threads = 1;
-  perf_opt.iteration_constant = 1.0;
-  std::size_t perf_alpha = 0, perf_edges = 0;
-  double perf_sec = 0;
-  for (int rep = 0; rep < 3; ++rep) {
-    Timer perf_timer;
-    const auto perf = ft_greedy_spanner(perf_g, 3.0, r, 4242, perf_opt);
-    const double sec = perf_timer.seconds();
-    if (rep == 0 || sec < perf_sec) perf_sec = sec;
-    perf_alpha = perf.iterations;
-    perf_edges = perf.edges.size();
-  }
-  const double iters_per_sec = perf_alpha / perf_sec;
-  std::printf("alpha = %zu iterations, best of 3: %.3f s -> %.1f "
+  const ScenarioSpec perf = ScenarioSpec::parse(
+      runner::preset_registry().get("conv_throughput").spec);
+  const runner::ScenarioReport report = runner::run_scenario(perf);
+  const runner::ScenarioCell& cell = report.cells.front();
+  const double iters = cell.stat("iterations");
+  std::printf("alpha = %zu iterations, best of %zu: %.3f s -> %.1f "
               "iterations/s\n",
-              perf_alpha, perf_sec, iters_per_sec);
+              static_cast<std::size_t>(iters), cell.reps, cell.seconds_best,
+              iters / cell.seconds_best);
 
   if (json_path != nullptr) {
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
+    std::ofstream os(json_path);
+    if (!os) {
       std::printf("ERROR: cannot open %s for writing\n", json_path);
       return 1;
     }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"bench_a1\",\n"
-                 "  \"instance\": \"gnp(400, 0.05, seed=1234), k=3, r=2\",\n"
-                 "  \"threads\": 1,\n"
-                 "  \"iterations\": %zu,\n"
-                 "  \"seconds\": %.6f,\n"
-                 "  \"iters_per_sec\": %.2f,\n"
-                 "  \"spanner_edges\": %zu\n"
-                 "}\n",
-                 perf_alpha, perf_sec, iters_per_sec, perf_edges);
-    std::fclose(f);
+    runner::print_json(report, os);
     std::printf("wrote %s\n", json_path);
   }
   return 0;

@@ -8,23 +8,31 @@
 // the same fault-set stream (so worst stretch must match exactly) and then
 // shows the thread fan-out.
 //
+// The oracle side runs as scenario definitions on the unified runner
+// (src/runner) — the same cells `ftspan bench validation_throughput`
+// executes; only the legacy per-pair reference is bench-local code.
+//
 //   $ ./bench_e11_validation_throughput [n] [p] [r] [trials] [--json <path>]
 //
 // Acceptance (ISSUE 3): oracle >= 5x faster than the per-pair path at one
 // thread on gnp(400, 0.05), r = 2, with identical worst_stretch.
-// `--json <path>` writes the machine-readable record for perf tracking.
+// `--json <path>` writes the runner's JSON record of the oracle scenario.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 
-#include "ftspanner/validate.hpp"
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
+#include "runner/runner.hpp"
 #include "spanner/greedy.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "validate/stretch_oracle.hpp"
 
 using namespace ftspan;
+using runner::ScenarioSpec;
 
 namespace {
 
@@ -61,6 +69,26 @@ FtCheckResult per_pair_reference(const Graph& g, const Graph& h, double k,
   return out;
 }
 
+/// The oracle scenario: greedy k-spanner of gnp(n, p), sampled validation.
+ScenarioSpec oracle_spec(std::size_t n, double p, std::size_t r,
+                         std::size_t trials, std::size_t adversarial,
+                         std::uint64_t seed) {
+  ScenarioSpec s;
+  s.workload = "gnp";
+  s.n = {n};
+  s.p = p;
+  s.wseed = seed;
+  s.algo = "greedy";
+  s.k = {3.0};
+  s.r = {r};
+  s.seed = seed;
+  s.validate = "sampled";
+  s.trials = trials;
+  s.adversarial = adversarial;
+  s.vseed = seed;
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,22 +120,18 @@ int main(int argc, char** argv) {
               "edges; r=%zu, %zu random fault sets\n",
               n, p, g.num_edges(), k, h.num_edges(), r, trials);
 
-  double json_sets_per_sec = 0;
-  double json_speedup = 0;
+  runner::ScenarioReport oracle_report;
   {
     banner("sampled check at 1 thread (identical fault-set stream)");
-    const StretchOracle oracle(g, h, k);
 
     Timer t1;
     const FtCheckResult ref = per_pair_reference(g, h, k, r, trials, seed);
     const double ms_ref = t1.millis();
 
-    FtCheckOptions opt;
-    opt.threads = 1;
-    Timer t2;
-    const FtCheckResult ora =
-        oracle.check_sampled(r, trials, /*adversarial_edges=*/0, seed, opt);
-    const double ms_ora = t2.millis();
+    oracle_report = runner::run_scenario(
+        oracle_spec(n, p, r, trials, /*adversarial=*/0, seed));
+    const runner::ScenarioCell& ora = oracle_report.cells.front();
+    const double ms_ora = ora.val_seconds * 1e3;
 
     Table t({"validator", "fault sets", "ms", "sets/s", "worst stretch"});
     t.row()
@@ -117,10 +141,10 @@ int main(int argc, char** argv) {
         .cell(ref.fault_sets_checked / (ms_ref / 1e3), 1)
         .cell(ref.worst_stretch, 4);
     t.row()
-        .cell("StretchOracle")
-        .cell(ora.fault_sets_checked)
+        .cell("StretchOracle (runner)")
+        .cell(ora.fault_sets)
         .cell(ms_ora, 1)
-        .cell(ora.fault_sets_checked / (ms_ora / 1e3), 1)
+        .cell(ora.fault_sets / (ms_ora / 1e3), 1)
         .cell(ora.worst_stretch, 4);
     t.print();
 
@@ -132,51 +156,39 @@ int main(int argc, char** argv) {
       std::printf("acceptance FAILED (need identical stretch and >= 5x)\n");
       return 1;
     }
-    json_sets_per_sec = ora.fault_sets_checked / (ms_ora / 1e3);
-    json_speedup = speedup;
   }
 
   {
     banner("full sampled check (random + adversarial), oracle only");
-    const StretchOracle oracle(g, h, k);
-    Timer t;
-    const FtCheckResult res =
-        oracle.check_sampled(r, trials, /*adversarial_edges=*/trials, seed);
+    const runner::ScenarioReport report =
+        runner::run_scenario(oracle_spec(n, p, r, trials, trials, seed));
+    const runner::ScenarioCell& cell = report.cells.front();
     std::printf("%zu fault sets in %.1f ms (%s, worst stretch %.4f)\n",
-                res.fault_sets_checked, t.millis(),
-                res.valid ? "valid" : "INVALID", res.worst_stretch);
+                cell.fault_sets, cell.val_seconds * 1e3,
+                cell.valid ? "valid" : "INVALID", cell.worst_stretch);
   }
 
   {
     banner("thread fan-out (bit-identical result at every width)");
-    const StretchOracle oracle(g, h, k);
-    FtCheckOptions seq;
-    seq.threads = 1;
-    const FtCheckResult base =
-        oracle.check_sampled(r, trials, trials, seed, seq);
+    ScenarioSpec s = oracle_spec(n, p, r, trials, trials, seed);
+    s.threads = {1, 2, 4, 8};
+    const runner::ScenarioReport report = runner::run_scenario(s);
+    const runner::ScenarioCell& base = report.cells.front();
     Table t({"threads", "ms", "speedup", "bit-identical"});
-    double ms1 = 0;
-    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-      FtCheckOptions opt;
-      opt.threads = threads;
-      Timer timer;
-      const FtCheckResult res =
-          oracle.check_sampled(r, trials, trials, seed, opt);
-      const double ms = timer.millis();
-      if (threads == 1) ms1 = ms;
-      const bool same = res.valid == base.valid &&
-                        res.worst_stretch == base.worst_stretch &&
-                        res.witness_faults == base.witness_faults &&
-                        res.witness_u == base.witness_u &&
-                        res.witness_v == base.witness_v;
+    for (const runner::ScenarioCell& cell : report.cells) {
+      const bool same = cell.valid == base.valid &&
+                        cell.worst_stretch == base.worst_stretch &&
+                        cell.witness_u == base.witness_u &&
+                        cell.witness_v == base.witness_v &&
+                        cell.fault_sets == base.fault_sets;
       t.row()
-          .cell(threads)
-          .cell(ms, 1)
-          .cell(ms1 / ms, 2)
+          .cell(cell.threads)
+          .cell(cell.val_seconds * 1e3, 1)
+          .cell(base.val_seconds / cell.val_seconds, 2)
           .cell(same ? "yes" : "NO");
       if (!same) {
         t.print();
-        std::printf("\ndeterminism FAILED at %zu threads\n", threads);
+        std::printf("\ndeterminism FAILED at %zu threads\n", cell.threads);
         return 1;
       }
     }
@@ -188,22 +200,12 @@ int main(int argc, char** argv) {
   }
 
   if (json_path != nullptr) {
-    std::FILE* f = std::fopen(json_path, "w");
-    if (f == nullptr) {
+    std::ofstream os(json_path);
+    if (!os) {
       std::printf("ERROR: cannot open %s for writing\n", json_path);
       return 1;
     }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"bench_e11\",\n"
-                 "  \"instance\": \"gnp(%zu, %g, seed=1), k=%g, r=%zu, "
-                 "%zu fault sets\",\n"
-                 "  \"threads\": 1,\n"
-                 "  \"oracle_sets_per_sec\": %.2f,\n"
-                 "  \"speedup_vs_per_pair\": %.2f\n"
-                 "}\n",
-                 n, p, k, r, trials, json_sets_per_sec, json_speedup);
-    std::fclose(f);
+    runner::print_json(oracle_report, os);
     std::printf("wrote %s\n", json_path);
   }
   return 0;

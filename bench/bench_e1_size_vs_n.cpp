@@ -7,21 +7,54 @@
 // vs n (should not exceed 1 + 2/(k+1) by much once the log n factor is
 // accounted for), and a sampled fault-tolerance validity check.
 //
-// The final section measures the parallel engine (ftspanner/parallel.hpp) on
-// an n >= 2000 instance: wall-clock at 1/2/4/8 threads, the speedup over the
-// sequential path, and a bit-identity check of the edge sets.
+// Every sweep is a list of scenario definitions on the unified runner
+// (src/runner); the per-row seed formulas (workload seed 1000+n, conversion
+// seed 7n+r, ...) are the historical ones, so the measured sizes are
+// bit-identical to the pre-runner bench. The final section sweeps the
+// engine's thread fan-out at a pinned iteration count and checks the edge
+// sets stay bit-identical via the runner's edge-set hash.
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "ftspanner/conversion.hpp"
-#include "ftspanner/validate.hpp"
-#include "graph/generators.hpp"
+#include "runner/runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 using namespace ftspan;
+using runner::ScenarioSpec;
+
+namespace {
+
+/// Prints the runner table plus the derived bound-normalized columns and
+/// the log-log slope of |H| against n.
+void report_sweep(const std::vector<ScenarioSpec>& specs, double k,
+                  bool with_bound) {
+  const runner::ScenarioReport report = runner::run_scenarios(specs);
+  runner::print_table(report, std::cout);
+  std::vector<double> xs, ys;
+  Table derived({"n", "bound", "|H|/bound"});
+  for (const runner::ScenarioCell& cell : report.cells) {
+    xs.push_back(static_cast<double>(cell.n));
+    ys.push_back(static_cast<double>(cell.edges));
+    if (with_bound) {
+      const double bound = corollary22_size_bound(cell.n, cell.k, cell.r);
+      derived.row().cell(cell.n).cell(bound, 0).cell(cell.edges / bound, 4);
+    }
+  }
+  if (with_bound) {
+    std::printf("\n");
+    derived.print();
+  }
+  std::printf("log-log slope of |H| vs n: %.3f (paper exponent %.3f + o(1); "
+              "when |H|/m ~ 1 the union has saturated at G itself and the "
+              "slope reflects m, not the bound)\n",
+              loglog_slope(xs, ys), 1.0 + 2.0 / (k + 1.0));
+}
+
+}  // namespace
 
 int main() {
   std::printf("# E1: FT-greedy spanner size vs n (Corollary 2.2)\n");
@@ -32,36 +65,24 @@ int main() {
     for (const std::size_t r : {1u, 2u, 4u}) {
       banner("k = " + std::to_string(static_cast<int>(k)) +
              ", r = " + std::to_string(r));
-      Table t({"n", "m", "|H|", "|H|/m", "bound", "|H|/bound", "alpha",
-               "valid(sampled)", "sec"});
-      std::vector<double> xs, ys;
+      std::vector<ScenarioSpec> specs;
       for (const std::size_t n : ns) {
-        const double p = 16.0 / static_cast<double>(n);
-        const Graph g = gnp(n, p, 1000 + n);
-        Timer timer;
-        const auto res = ft_greedy_spanner(g, k, r, 7 * n + r);
-        const double sec = timer.seconds();
-        const Graph h = g.edge_subgraph(res.edges);
-        const auto check = check_ft_spanner_sampled(g, h, k, r, 15, 25, 5);
-        const double bound = corollary22_size_bound(n, k, r);
-        xs.push_back(static_cast<double>(n));
-        ys.push_back(static_cast<double>(res.edges.size()));
-        t.row()
-            .cell(n)
-            .cell(g.num_edges())
-            .cell(res.edges.size())
-            .cell(static_cast<double>(res.edges.size()) / g.num_edges(), 3)
-            .cell(bound, 0)
-            .cell(res.edges.size() / bound, 4)
-            .cell(res.iterations)
-            .cell(check.valid ? "yes" : "NO")
-            .cell(sec, 2);
+        ScenarioSpec s;
+        s.workload = "gnp";
+        s.n = {n};
+        s.p = 16.0 / static_cast<double>(n);
+        s.wseed = 1000 + n;
+        s.algo = "ft_vertex";
+        s.k = {k};
+        s.r = {r};
+        s.seed = 7 * n + r;
+        s.validate = "sampled";
+        s.trials = 15;
+        s.adversarial = 25;
+        s.vseed = 5;
+        specs.push_back(std::move(s));
       }
-      t.print();
-      std::printf("log-log slope of |H| vs n: %.3f (paper exponent %.3f + o(1); "
-                  "when |H|/m ~ 1 the union has saturated at G itself and the "
-                  "slope reflects m, not the bound)\n",
-                  loglog_slope(xs, ys), 1.0 + 2.0 / (k + 1.0));
+      report_sweep(specs, k, /*with_bound=*/true);
     }
   }
 
@@ -76,71 +97,59 @@ int main() {
     for (const std::size_t r : {1u, 2u}) {
       banner("complete graphs, practical preset c=0.25: k = " +
              std::to_string(static_cast<int>(k)) + ", r = " + std::to_string(r));
-      Table t({"n", "m", "|H|", "|H|/m", "alpha", "valid(sampled)", "sec"});
-      std::vector<double> xs, ys;
+      std::vector<ScenarioSpec> specs;
       for (const std::size_t n : {64u, 128u, 256u}) {
-        const Graph g = complete(n);
-        ConversionOptions opt;
-        opt.iteration_constant = 0.25;
-        Timer timer;
-        const auto res = ft_greedy_spanner(g, k, r, 11 * n + r, opt);
-        const double sec = timer.seconds();
-        const Graph h = g.edge_subgraph(res.edges);
-        const auto check = check_ft_spanner_sampled(g, h, k, r, 10, 20, 5);
-        xs.push_back(static_cast<double>(n));
-        ys.push_back(static_cast<double>(res.edges.size()));
-        t.row()
-            .cell(n)
-            .cell(g.num_edges())
-            .cell(res.edges.size())
-            .cell(static_cast<double>(res.edges.size()) / g.num_edges(), 3)
-            .cell(res.iterations)
-            .cell(check.valid ? "yes" : "NO")
-            .cell(sec, 2);
+        ScenarioSpec s;
+        s.workload = "complete";
+        s.n = {n};
+        s.algo = "ft_vertex";
+        s.k = {k};
+        s.r = {r};
+        s.c = 0.25;
+        s.seed = 11 * n + r;
+        s.validate = "sampled";
+        s.trials = 10;
+        s.adversarial = 20;
+        s.vseed = 5;
+        specs.push_back(std::move(s));
       }
-      t.print();
-      std::printf("log-log slope of |H| vs n: %.3f "
-                  "(paper exponent %.3f + o(1); m itself grows with slope 2)\n",
-                  loglog_slope(xs, ys), 1.0 + 2.0 / (k + 1.0));
+      report_sweep(specs, k, /*with_bound=*/false);
     }
   }
 
   // ---------------------------------------------------------------------
   // Parallel-engine throughput: the conversion's iterations are independent,
   // so wall-clock should drop near-linearly with threads (up to the core
-  // count). The iteration count is pinned so every row does identical work,
-  // and the edge sets are compared against the sequential output — the
-  // engine's determinism contract makes them bit-identical.
+  // count). The iteration count is pinned so every cell does identical work;
+  // the runner's edge-set hash certifies the engine's determinism contract
+  // (bit-identical output at every width).
   {
-    const std::size_t n = 2000;
-    const Graph g = gnp(n, 8.0 / static_cast<double>(n), 4242);
-    ConversionOptions base_opt;
-    base_opt.iterations = 48;  // pinned: equal work per row
     banner("parallel engine: G(2000, 8/n), k = 3, r = 2, alpha = 48");
     std::printf("hardware threads available: %zu\n",
                 ThreadPool::hardware_threads());
+    ScenarioSpec s;
+    s.workload = "gnp";
+    s.n = {2000};
+    s.p = 8.0 / 2000.0;
+    s.wseed = 4242;
+    s.algo = "ft_vertex";
+    s.k = {3.0};
+    s.r = {2};
+    s.iters = 48;
+    s.seed = 77;
+    s.threads = {1, 2, 4, 8};
+    s.validate = "none";
+    const runner::ScenarioReport report = runner::run_scenario(s);
 
-    base_opt.threads = 1;
-    Timer seq_timer;
-    const auto seq = ft_greedy_spanner(g, 3.0, 2, 77, base_opt);
-    const double seq_sec = seq_timer.seconds();
-
+    const runner::ScenarioCell& seq = report.cells.front();
     Table t({"threads", "|H|", "sec", "speedup", "identical to seq"});
-    t.row().cell(1).cell(seq.edges.size()).cell(seq_sec, 3).cell(1.0, 2).cell(
-        "yes");
-    for (const std::size_t threads : {2u, 4u, 8u}) {
-      ConversionOptions opt = base_opt;
-      opt.threads = threads;
-      Timer timer;
-      const auto res = ft_greedy_spanner(g, 3.0, 2, 77, opt);
-      const double sec = timer.seconds();
+    for (const runner::ScenarioCell& cell : report.cells)
       t.row()
-          .cell(threads)
-          .cell(res.edges.size())
-          .cell(sec, 3)
-          .cell(seq_sec / sec, 2)
-          .cell(res.edges == seq.edges ? "yes" : "NO");
-    }
+          .cell(cell.threads)
+          .cell(cell.edges)
+          .cell(cell.seconds_best, 3)
+          .cell(seq.seconds_best / cell.seconds_best, 2)
+          .cell(cell.edges_hash == seq.edges_hash ? "yes" : "NO");
     t.print();
     std::printf(
         "Speedup saturates at the machine's core count; per-iteration RNG "

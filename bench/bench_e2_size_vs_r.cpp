@@ -5,25 +5,58 @@
 // grows like r² k^{r+1} — exponentially. We print measured size, the two
 // analytic bounds normalized to their r = 1 values, and the layered-greedy
 // heuristic size for scale.
+//
+// Execution runs through the unified scenario runner (src/runner): one
+// conversion scenario per r (the historical per-r seed 17r+1), plus one
+// layered-greedy scenario sweeping r. The presentation table merges the
+// runner's cells with the analytic bound curves.
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
-#include "ftspanner/baselines.hpp"
 #include "ftspanner/conversion.hpp"
-#include "graph/generators.hpp"
+#include "runner/runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace ftspan;
+using runner::ScenarioSpec;
 
 int main() {
   std::printf("# E2: size vs r at n = 256, k = 3 (Theorem 1.1 vs CLPR09)\n");
 
   const std::size_t n = 256;
   const double k = 3.0;
-  const Graph g = gnp(n, 24.0 / n, 42);
-  std::printf("# instance: G(%zu, 24/n), m = %zu\n", n, g.num_edges());
+  const std::vector<std::size_t> rs{1, 2, 3, 4, 5, 6, 8};
+
+  ScenarioSpec base;
+  base.workload = "gnp";
+  base.n = {n};
+  base.p = 24.0 / n;
+  base.wseed = 42;
+  base.k = {k};
+  base.validate = "none";
+
+  // One conversion scenario per r (seed = 17r+1, as always) ...
+  std::vector<ScenarioSpec> specs;
+  for (const std::size_t r : rs) {
+    ScenarioSpec s = base;
+    s.algo = "ft_vertex";
+    s.r = {r};
+    s.seed = 17 * r + 1;
+    specs.push_back(std::move(s));
+  }
+  // ... plus the deterministic layered baseline as a single r-sweep.
+  {
+    ScenarioSpec s = base;
+    s.algo = "layered_greedy";
+    s.r = rs;
+    specs.push_back(std::move(s));
+  }
+  const runner::ScenarioReport report = runner::run_scenarios(specs);
+  const std::size_t layered_begin = report.first_cell.back();
+  std::printf("# instance: G(%zu, 24/n), m = %zu\n", n,
+              report.cells.front().m);
 
   const double ours1 = corollary22_size_bound(n, k, 1);
   const double clpr1 = clpr09_size_bound(n, k, 1);
@@ -31,29 +64,27 @@ int main() {
   banner("size vs r");
   Table t({"r", "|H| measured", "|H|/m", "layered |H|", "ours bound (rel r=1)",
            "CLPR09 bound (rel r=1)", "alpha", "sec"});
-  std::vector<double> rs, sizes;
-  for (const std::size_t r : {1u, 2u, 3u, 4u, 5u, 6u, 8u}) {
-    Timer timer;
-    const auto res = ft_greedy_spanner(g, k, r, 17 * r + 1);
-    const double sec = timer.seconds();
-    const auto layered = layered_greedy_spanner(g, k, r);
-    rs.push_back(static_cast<double>(r));
-    sizes.push_back(static_cast<double>(res.edges.size()));
+  std::vector<double> xs, sizes;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const runner::ScenarioCell& conv = report.cells[i];
+    const runner::ScenarioCell& layered = report.cells[layered_begin + i];
+    xs.push_back(static_cast<double>(conv.r));
+    sizes.push_back(static_cast<double>(conv.edges));
     t.row()
-        .cell(r)
-        .cell(res.edges.size())
-        .cell(static_cast<double>(res.edges.size()) / g.num_edges(), 3)
-        .cell(layered.size())
-        .cell(corollary22_size_bound(n, k, r) / ours1, 2)
-        .cell(clpr09_size_bound(n, k, r) / clpr1, 1)
-        .cell(res.iterations)
-        .cell(sec, 2);
+        .cell(conv.r)
+        .cell(conv.edges)
+        .cell(static_cast<double>(conv.edges) / conv.m, 3)
+        .cell(layered.edges)
+        .cell(corollary22_size_bound(n, k, conv.r) / ours1, 2)
+        .cell(clpr09_size_bound(n, k, conv.r) / clpr1, 1)
+        .cell(static_cast<std::size_t>(conv.stat("iterations")))
+        .cell(conv.seconds_best, 2);
   }
   t.print();
   std::printf(
       "log-log slope of measured |H| vs r: %.3f "
       "(paper: <= 2 - 2/(k+1) = %.3f; saturation towards m lowers it)\n",
-      loglog_slope(rs, sizes), 2.0 - 2.0 / (k + 1.0));
+      loglog_slope(xs, sizes), 2.0 - 2.0 / (k + 1.0));
   std::printf(
       "CLPR09 bound grows by %.0fx from r=1 to r=8; ours by %.1fx — the "
       "exponential-vs-polynomial separation of Theorem 1.1.\n",
@@ -62,29 +93,30 @@ int main() {
   // Below the saturation scale the measured r-dependence needs a dense
   // instance and the practical iteration preset (validity per experiment A1).
   {
-    const Graph kn = complete(128);
     banner("K_128, practical preset c = 0.25, k = 5: measured size vs r");
-    Table t2({"r", "|H| measured", "|H|/m", "alpha", "sec"});
-    std::vector<double> rs2, sizes2;
+    std::vector<ScenarioSpec> dense;
     for (const std::size_t r : {1u, 2u, 3u, 4u}) {
-      ConversionOptions opt;
-      opt.iteration_constant = 0.25;
-      Timer timer;
-      const auto res = ft_greedy_spanner(kn, 5.0, r, 23 * r + 5, opt);
-      const double sec = timer.seconds();
-      rs2.push_back(static_cast<double>(r));
-      sizes2.push_back(static_cast<double>(res.edges.size()));
-      t2.row()
-          .cell(r)
-          .cell(res.edges.size())
-          .cell(static_cast<double>(res.edges.size()) / kn.num_edges(), 3)
-          .cell(res.iterations)
-          .cell(sec, 2);
+      ScenarioSpec s;
+      s.workload = "complete";
+      s.n = {128};
+      s.algo = "ft_vertex";
+      s.k = {5.0};
+      s.r = {r};
+      s.c = 0.25;
+      s.seed = 23 * r + 5;
+      s.validate = "none";
+      dense.push_back(std::move(s));
     }
-    t2.print();
+    const runner::ScenarioReport dr = runner::run_scenarios(dense);
+    runner::print_table(dr, std::cout);
+    std::vector<double> xs2, sizes2;
+    for (const runner::ScenarioCell& cell : dr.cells) {
+      xs2.push_back(static_cast<double>(cell.r));
+      sizes2.push_back(static_cast<double>(cell.edges));
+    }
     std::printf("log-log slope of measured |H| vs r: %.3f "
                 "(polynomial, far below CLPR09's exponential growth)\n",
-                loglog_slope(rs2, sizes2));
+                loglog_slope(xs2, sizes2));
   }
   return 0;
 }

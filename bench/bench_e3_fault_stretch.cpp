@@ -6,38 +6,42 @@
 // stretch found by exact enumeration (small n) and by the targeted
 // adversary (larger n). The conversion should be the only one that is
 // always valid.
+//
+// Each section is three scenario definitions on the unified runner
+// (src/runner): same workload instance, three algorithms, StretchOracle
+// validation — the bench itself holds no execution loop.
 #include <cstdio>
+#include <iostream>
+#include <vector>
 
-#include "ftspanner/baselines.hpp"
-#include "ftspanner/conversion.hpp"
-#include "graph/generators.hpp"
-#include "spanner/greedy.hpp"
+#include "runner/runner.hpp"
 #include "util/table.hpp"
-#include "validate/stretch_oracle.hpp"
 
 using namespace ftspan;
+using runner::ScenarioSpec;
 
 namespace {
 
-void report(const char* name, const Graph& g, const Graph& h, double k,
-            std::size_t r, Table& t, bool exact) {
-  // One oracle per (g, h): every fault set below shares its batched
-  // Dijkstras and epoch-stamped scratch.
-  const StretchOracle oracle(g, h, k);
-  const FtCheckResult check =
-      exact ? oracle.check_exact(r) : oracle.check_sampled(r, 40, 60, 99);
-  t.row()
-      .cell(name)
-      .cell(h.num_edges())
-      .cell(check.worst_stretch >= kInfiniteWeight
-                ? std::string("disconnected")
-                : [&] {
-                    char buf[32];
-                    std::snprintf(buf, sizeof buf, "%.2f", check.worst_stretch);
-                    return std::string(buf);
-                  }())
-      .cell(check.valid ? "yes" : "NO")
-      .cell(check.fault_sets_checked);
+/// The three constructions over one workload instance, one spec each.
+std::vector<ScenarioSpec> constructions(const char* workload, std::size_t n,
+                                        double p, std::uint64_t wseed,
+                                        double k, std::size_t r,
+                                        std::uint64_t conversion_seed,
+                                        const char* validate) {
+  ScenarioSpec base;
+  base.workload = workload;
+  base.n = {n};
+  base.p = p;
+  base.wseed = wseed;
+  base.k = {k};
+  base.r = {r};
+  base.validate = validate;
+  std::vector<ScenarioSpec> specs(3, base);
+  specs[0].algo = "greedy";
+  specs[1].algo = "layered_greedy";
+  specs[2].algo = "ft_vertex";
+  specs[2].seed = conversion_seed;
+  return specs;
 }
 
 }  // namespace
@@ -45,41 +49,23 @@ void report(const char* name, const Graph& g, const Graph& h, double k,
 int main() {
   std::printf("# E3: stretch under vertex faults (definition of r-FT)\n");
 
-  {
-    banner("exact enumeration: K_14, k = 3, r = 1");
-    const Graph g = complete(14);
-    Table t({"construction", "|H|", "worst stretch", "valid", "fault sets"});
-    report("plain greedy", g, greedy_spanner_graph(g, 3.0), 3.0, 1, t, true);
-    report("layered greedy", g, g.edge_subgraph(layered_greedy_spanner(g, 3.0, 1)),
-           3.0, 1, t, true);
-    const auto conv = ft_greedy_spanner(g, 3.0, 1, 7);
-    report("conversion (Thm 2.1)", g, g.edge_subgraph(conv.edges), 3.0, 1, t, true);
-    t.print();
-  }
+  banner("exact enumeration: K_14, k = 3, r = 1");
+  runner::print_table(
+      runner::run_scenarios(
+          constructions("complete", 14, -1.0, 1, 3.0, 1, 7, "exact")),
+      std::cout);
 
-  {
-    banner("exact enumeration: G(18, 0.5), k = 3, r = 2");
-    const Graph g = gnp(18, 0.5, 11);
-    Table t({"construction", "|H|", "worst stretch", "valid", "fault sets"});
-    report("plain greedy", g, greedy_spanner_graph(g, 3.0), 3.0, 2, t, true);
-    report("layered greedy", g, g.edge_subgraph(layered_greedy_spanner(g, 3.0, 2)),
-           3.0, 2, t, true);
-    const auto conv = ft_greedy_spanner(g, 3.0, 2, 13);
-    report("conversion (Thm 2.1)", g, g.edge_subgraph(conv.edges), 3.0, 2, t, true);
-    t.print();
-  }
+  banner("exact enumeration: G(18, 0.5), k = 3, r = 2");
+  runner::print_table(
+      runner::run_scenarios(
+          constructions("gnp", 18, 0.5, 11, 3.0, 2, 13, "exact")),
+      std::cout);
 
-  {
-    banner("sampled + adversarial: G(128, 12/n), k = 5, r = 2");
-    const Graph g = gnp(128, 12.0 / 128, 17);
-    Table t({"construction", "|H|", "worst stretch", "valid", "fault sets"});
-    report("plain greedy", g, greedy_spanner_graph(g, 5.0), 5.0, 2, t, false);
-    report("layered greedy", g, g.edge_subgraph(layered_greedy_spanner(g, 5.0, 2)),
-           5.0, 2, t, false);
-    const auto conv = ft_greedy_spanner(g, 5.0, 2, 19);
-    report("conversion (Thm 2.1)", g, g.edge_subgraph(conv.edges), 5.0, 2, t, false);
-    t.print();
-  }
+  banner("sampled + adversarial: G(128, 12/n), k = 5, r = 2");
+  runner::print_table(
+      runner::run_scenarios(constructions("gnp", 128, 12.0 / 128, 17, 5.0, 2,
+                                          19, "sampled")),
+      std::cout);
 
   std::printf(
       "\nReading: plain greedy is a valid k-spanner but fails under faults; "

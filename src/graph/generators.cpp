@@ -201,6 +201,36 @@ Graph random_regular_ish(std::size_t n, std::size_t d, std::uint64_t seed) {
   return g;
 }
 
+Graph road_like(std::size_t rows, std::size_t cols, double shortcut_prob,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  auto jitter = [&rng] { return 1.0 + 0.2 * (rng.uniform() - 0.5); };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), jitter());
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), jitter());
+      if (r + 1 < rows && c + 1 < cols && rng.bernoulli(shortcut_prob))
+        g.add_edge(id(r, c), id(r + 1, c + 1), std::sqrt(2.0) * jitter());
+    }
+  return g;
+}
+
+Graph tie_dense(std::size_t n, double p, std::size_t levels,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  const std::size_t k = std::max<std::size_t>(levels, 1);
+  for (Vertex u = 0; u + 1 < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p))
+        g.add_edge(u, v, 1.0 + 0.1 * static_cast<double>(rng.uniform_index(k)));
+  return g;
+}
+
 Digraph di_gnp(std::size_t n, double p, std::uint64_t seed, double max_cost) {
   Rng rng(seed);
   Digraph g(n);

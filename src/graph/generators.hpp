@@ -55,6 +55,21 @@ Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
 /// random perfect matchings / cycles (simple union).
 Graph random_regular_ish(std::size_t n, std::size_t d, std::uint64_t seed);
 
+/// Road-like network: a rows x cols grid whose segment lengths carry ±10%
+/// jitter (no two blocks are exactly alike) plus, per grid cell, one
+/// diagonal shortcut with probability shortcut_prob (length ~ sqrt(2) with
+/// the same jitter). Low degree and near-planar — a street-network stand-in
+/// where the geometric disk model is too dense.
+Graph road_like(std::size_t rows, std::size_t cols, double shortcut_prob,
+                std::uint64_t seed);
+
+/// Worst-case tie workload: G(n, p) whose lengths are drawn from the
+/// `levels` decimal values 1.0, 1.1, ..., 1.0 + (levels-1)/10. The tiny
+/// weight alphabet maximizes shortest-path and greedy-scan tie-breaking
+/// pressure — the adversarial case for visit-order-sensitive code.
+Graph tie_dense(std::size_t n, double p, std::size_t levels,
+                std::uint64_t seed);
+
 // --- Directed generators (Section 3 workloads) ---
 
 /// Directed G(n, p): each ordered pair (u, v), u != v, is an arc with

@@ -1,0 +1,64 @@
+// Name → entry registry shared by the scenario engine's three catalogs
+// (workloads, algorithms, presets).
+//
+// Lookups are by exact name; an unknown name throws std::invalid_argument
+// whose message lists every registered name, so a typo at the CLI or in a
+// scenario spec is self-correcting. Registration order is preserved — it is
+// the order `names()` reports and the order CI iterates smoke scenarios in.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ftspan::runner {
+
+template <class Entry>
+class Registry {
+ public:
+  /// `kind` names the catalog in error messages, e.g. "workload".
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers `entry` under `name`; duplicate names are a programming
+  /// error and throw std::logic_error.
+  void add(std::string name, Entry entry) {
+    if (contains(name))
+      throw std::logic_error("duplicate " + kind_ + " '" + name + "'");
+    entries_.emplace_back(std::move(name), std::move(entry));
+  }
+
+  bool contains(const std::string& name) const {
+    for (const auto& [n, e] : entries_)
+      if (n == name) return true;
+    return false;
+  }
+
+  /// Throws std::invalid_argument listing the valid names when `name` is
+  /// not registered.
+  const Entry& get(const std::string& name) const {
+    for (const auto& [n, e] : entries_)
+      if (n == name) return e;
+    std::ostringstream os;
+    os << "unknown " << kind_ << " '" << name << "'; valid names:";
+    for (const auto& [n, e] : entries_) os << " " << n;
+    throw std::invalid_argument(os.str());
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [n, e] : entries_) out.push_back(n);
+    return out;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::string kind_;
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+}  // namespace ftspan::runner

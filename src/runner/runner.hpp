@@ -1,0 +1,98 @@
+// The scenario driver: expands ScenarioSpecs into cells, executes each cell
+// through the workload and algorithm registries, validates the result
+// through the StretchOracle (or the edge-fault checker), and emits the
+// report as a util/table.hpp text table, CSV, or versioned JSON.
+//
+// Determinism contract: every metric in a cell — sizes, stats, validity,
+// worst stretch, witnesses, edge-set hash — is bit-identical for the same
+// spec and seeds at every thread count (wall-clock fields are the only
+// exception, and `timings=off` removes them from the emitters entirely).
+//
+// Within one spec the driver binds the algorithm once per workload instance
+// and reuses the bound state — the GreedyContext edge sort and the pooled
+// per-worker DijkstraEngine scratch — across the k/r/threads sweep and all
+// timing repetitions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "runner/algorithms.hpp"
+#include "runner/scenario.hpp"
+
+namespace ftspan::runner {
+
+/// One executed (workload, algorithm, k, r, threads) combination.
+struct ScenarioCell {
+  // Instance identity.
+  std::string workload;
+  std::string params;  ///< the workload's canonical parameter string
+  std::size_t n = 0;   ///< vertices of the generated instance
+  std::size_t m = 0;   ///< edges of the generated instance
+
+  // Algorithm and its result.
+  std::string algorithm;
+  double k = 3.0;
+  std::size_t r = 1;
+  std::size_t threads = 1;
+  std::size_t edges = 0;         ///< spanner size |H|
+  std::uint64_t edges_hash = 0;  ///< FNV-1a over the edge-id sequence
+  std::vector<std::pair<std::string, double>> stats;
+
+  // Validation (fields meaningful when validate != "none").
+  std::string validate = "none";
+  bool valid = true;
+  double worst_stretch = 1.0;
+  std::size_t fault_sets = 0;
+  Vertex witness_u = kInvalidVertex;
+  Vertex witness_v = kInvalidVertex;
+
+  // Wall clock (never part of the determinism contract).
+  std::size_t reps = 1;
+  double seconds_best = 0;  ///< construction, best of `reps`
+  double val_seconds = 0;   ///< validation, single run
+
+  /// Value of a named stat, or `dflt` when the algorithm did not emit it.
+  double stat(const std::string& name, double dflt = 0) const;
+};
+
+struct ScenarioReport {
+  std::vector<ScenarioSpec> specs;
+  /// Cells in execution order: specs in input order, each expanded
+  /// n-major, then k, then r, then threads.
+  std::vector<ScenarioCell> cells;
+  /// Index into `cells` of each spec's first cell (parallel to `specs`).
+  std::vector<std::size_t> first_cell;
+};
+
+/// Executes the spec(s). Throws std::invalid_argument for unknown workload
+/// or algorithm names (listing the valid names).
+ScenarioReport run_scenario(const ScenarioSpec& spec);
+ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs);
+
+/// Emitters. Table and CSV share one column layout; JSON is the versioned
+/// machine-readable record (schema "ftspan.scenario.v1").
+void print_table(const ScenarioReport& report, std::ostream& os);
+void print_csv(const ScenarioReport& report, std::ostream& os);
+void print_json(const ScenarioReport& report, std::ostream& os);
+
+/// FNV-1a over an edge-id sequence — the cross-run bit-identity fingerprint
+/// stored in ScenarioCell::edges_hash (same function the golden-conversion
+/// tests use).
+std::uint64_t edge_set_hash(const std::vector<EdgeId>& edges);
+
+/// A named, committed scenario: the registry behind `ftspan bench <name>`.
+struct ScenarioPreset {
+  std::string summary;
+  std::string spec;  ///< parseable ScenarioSpec text
+};
+
+/// Presets: one `smoke_<algo>` per registered algorithm (tiny instances,
+/// used by the CI scenario-smoke job) plus the tracked performance cells
+/// (`conv_throughput`, `validation_throughput`) and a `quick` demo sweep.
+const Registry<ScenarioPreset>& preset_registry();
+
+}  // namespace ftspan::runner

@@ -1,0 +1,152 @@
+#include "runner/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace ftspan::runner {
+
+namespace {
+
+/// max(floor_n, lround(full * scale)) — the scaling rule every vertex-count
+/// knob uses (identical to the property harness's historical `scaled`).
+std::size_t scaled(std::size_t full, double scale, std::size_t floor_n) {
+  return std::max<std::size_t>(
+      floor_n, static_cast<std::size_t>(std::lround(full * scale)));
+}
+
+/// Default-ostream double formatting (6 significant digits) — the format the
+/// property harness has always used in replay-tuple params strings.
+std::string num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+Registry<Workload> build_registry() {
+  Registry<Workload> reg("workload");
+
+  reg.add("gnp", {"Erdős–Rényi G(n, p); p defaults to 10/n",
+                  [](const WorkloadParams& wp) {
+                    const std::size_t n = scaled(wp.n ? wp.n : 240, wp.scale, 12);
+                    const double p =
+                        wp.p < 0 ? std::min(1.0, 10.0 / static_cast<double>(n))
+                                 : wp.p;
+                    std::ostringstream os;
+                    os << "n=" << n << " p=" << p;
+                    return WorkloadInstance{gnp(n, p, wp.seed), os.str()};
+                  }});
+
+  reg.add("sensor",
+          {"random geometric disk graph (sensor field); p = connect radius, "
+           "default 1.7/sqrt(n)",
+           [](const WorkloadParams& wp) {
+             const std::size_t n = scaled(wp.n ? wp.n : 200, wp.scale, 12);
+             const double radius =
+                 wp.p < 0 ? 1.7 / std::sqrt(static_cast<double>(n)) : wp.p;
+             std::ostringstream os;
+             os << "n=" << n << " radius=" << radius;
+             return WorkloadInstance{random_geometric(n, radius, wp.seed),
+                                     os.str()};
+           }});
+
+  reg.add("grid", {"n x n grid, unit lengths (n = side, default 15)",
+                   [](const WorkloadParams& wp) {
+                     const std::size_t side =
+                         scaled(wp.n ? wp.n : 15, std::sqrt(wp.scale), 3);
+                     std::ostringstream os;
+                     os << "rows=" << side << " cols=" << side;
+                     return WorkloadInstance{grid(side, side), os.str()};
+                   }});
+
+  reg.add("road",
+          {"road-like n x n grid with jittered block lengths and diagonal "
+           "shortcuts; p = shortcut probability, default 0.15",
+           [](const WorkloadParams& wp) {
+             const std::size_t side =
+                 scaled(wp.n ? wp.n : 14, std::sqrt(wp.scale), 3);
+             const double shortcut = wp.p < 0 ? 0.15 : wp.p;
+             std::ostringstream os;
+             os << "rows=" << side << " cols=" << side
+                << " shortcut=" << shortcut;
+             return WorkloadInstance{
+                 road_like(side, side, shortcut, wp.seed), os.str()};
+           }});
+
+  reg.add("preferential",
+          {"Barabási–Albert preferential attachment; p = edges per new "
+           "vertex, default 4",
+           [](const WorkloadParams& wp) {
+             const std::size_t n = scaled(wp.n ? wp.n : 220, wp.scale, 14);
+             const std::size_t m =
+                 wp.p < 0 ? 4 : static_cast<std::size_t>(wp.p);
+             std::ostringstream os;
+             os << "n=" << n << " m=" << m;
+             return WorkloadInstance{barabasi_albert(n, m, wp.seed), os.str()};
+           }});
+
+  reg.add("smallworld",
+          {"Watts–Strogatz ring (6 neighbors); p = rewiring beta, "
+           "default 0.2",
+           [](const WorkloadParams& wp) {
+             const std::size_t n = scaled(wp.n ? wp.n : 240, wp.scale, 12);
+             const double beta = wp.p < 0 ? 0.2 : wp.p;
+             std::ostringstream os;
+             os << "n=" << n << " k=6 beta=" << beta;
+             return WorkloadInstance{watts_strogatz(n, 6, beta, wp.seed),
+                                     os.str()};
+           }});
+
+  reg.add("hypercube",
+          {"d-dimensional hypercube, d = ⌊log2(scaled n)⌋ (default n = 256)",
+           [](const WorkloadParams& wp) {
+             const double target =
+                 std::max(8.0, static_cast<double>(wp.n ? wp.n : 256) *
+                                   wp.scale);
+             const std::size_t d =
+                 static_cast<std::size_t>(std::log2(target));
+             std::ostringstream os;
+             os << "d=" << d;
+             return WorkloadInstance{hypercube(d), os.str()};
+           }});
+
+  reg.add("tie_dense",
+          {"worst-case ties: G(n, p) with lengths from {1.0, 1.1, 1.2, 1.3} "
+           "(p defaults to 12/n)",
+           [](const WorkloadParams& wp) {
+             const std::size_t n = scaled(wp.n ? wp.n : 160, wp.scale, 12);
+             const double p =
+                 wp.p < 0 ? std::min(1.0, 12.0 / static_cast<double>(n))
+                          : wp.p;
+             std::ostringstream os;
+             os << "n=" << n << " p=" << p << " levels=4";
+             return WorkloadInstance{tie_dense(n, p, 4, wp.seed), os.str()};
+           }});
+
+  reg.add("complete", {"complete graph K_n, unit lengths (default n = 64)",
+                       [](const WorkloadParams& wp) {
+                         const std::size_t n =
+                             scaled(wp.n ? wp.n : 64, wp.scale, 4);
+                         std::ostringstream os;
+                         os << "n=" << n;
+                         return WorkloadInstance{complete(n), os.str()};
+                       }});
+
+  return reg;
+}
+
+}  // namespace
+
+const Registry<Workload>& workload_registry() {
+  static const Registry<Workload> reg = build_registry();
+  return reg;
+}
+
+WorkloadInstance make_workload(const std::string& name,
+                               const WorkloadParams& params) {
+  return workload_registry().get(name).make(params);
+}
+
+}  // namespace ftspan::runner

@@ -1,0 +1,60 @@
+// The workload registry: name → parameterized graph family.
+//
+// One catalog of instances for the whole repo: the benches, the `ftspan
+// bench` subcommand, and the property-test harness (tests/property/
+// harness.hpp) all draw their graphs from here, so a scenario measured by a
+// bench and a cell validated by the matrix test are provably the same
+// instance. Every family is deterministic given (params, seed); `scale`
+// shrinks a family towards its floor size, which is what the harness's
+// shrinking loop drives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "runner/registry.hpp"
+
+namespace ftspan::runner {
+
+struct WorkloadParams {
+  /// Family size knob before scaling; 0 = the family's default. For grid-
+  /// shaped families this is the side length, for hypercube the vertex
+  /// count 2^⌊log2 n⌋, otherwise the vertex count.
+  std::size_t n = 0;
+
+  /// Family density knob (edge probability, disk radius, shortcut
+  /// probability, attachment count, rewiring beta); < 0 = family default.
+  double p = -1.0;
+
+  /// Multiplies the size knob, floored at the family's minimum viable size.
+  /// The property harness shrinks failing instances by lowering this.
+  double scale = 1.0;
+
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadInstance {
+  Graph g;
+  /// Canonical human-readable parameters, e.g. "n=240 p=0.0416667" — the
+  /// string the property harness reports in replay tuples.
+  std::string params;
+};
+
+struct Workload {
+  std::string summary;
+  std::function<WorkloadInstance(const WorkloadParams&)> make;
+};
+
+/// The process-wide workload catalog (registration order is display order):
+/// gnp, sensor, grid, road, preferential, smallworld, hypercube, tie_dense,
+/// complete.
+const Registry<Workload>& workload_registry();
+
+/// Convenience: workload_registry().get(name).make(params). Throws
+/// std::invalid_argument (listing valid names) for an unknown name.
+WorkloadInstance make_workload(const std::string& name,
+                               const WorkloadParams& params);
+
+}  // namespace ftspan::runner

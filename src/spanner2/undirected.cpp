@@ -1,48 +1,38 @@
 #include "spanner2/undirected.hpp"
 
 #include "graph/generators.hpp"
+#include "spanner2/dk10_baseline.hpp"
 #include "spanner2/verify2.hpp"
 
 namespace ftspan {
 
-bool is_ft_2spanner_undirected(const Graph& g,
-                               const std::vector<char>& in_spanner,
-                               std::size_t r) {
-  for (EdgeId id = 0; id < g.num_edges(); ++id) {
-    if (in_spanner[id]) continue;
-    const Edge& e = g.edge(id);
-    std::size_t paths = 0;
-    for (const Arc& a : g.neighbors(e.u)) {
-      if (a.to == e.v || !in_spanner[a.edge]) continue;
-      const auto second = g.edge_id(a.to, e.v);
-      if (second && in_spanner[*second] && ++paths > r) break;
-    }
-    if (paths < r + 1) return false;
-  }
-  return true;
-}
+namespace {
 
-UndirectedTwoSpannerResult approx_ft_2spanner_undirected(
-    const Graph& g, std::size_t r, std::uint64_t seed,
-    const RoundingOptions& options) {
-  // Bidirect with half costs so the directed objective counts edge weights
-  // once when both arcs are bought.
+/// Bidirect g with half costs so the directed objective counts each edge
+/// weight once when both of its arcs are bought. Arc ids are 2*id (u->v)
+/// and 2*id+1 (v->u) for undirected edge id — the insertion order
+/// guarantees it, and every reduction below relies on it.
+Digraph half_cost_bidirect(const Graph& g) {
   Digraph d(g.num_vertices());
-  // Arc ids: 2*id (u->v) and 2*id+1 (v->u) for undirected edge id — the
-  // insertion order below guarantees it.
   for (const Edge& e : g.edges()) {
     d.add_edge(e.u, e.v, e.w / 2.0);
     d.add_edge(e.v, e.u, e.w / 2.0);
   }
+  return d;
+}
 
-  const TwoSpannerResult directed = approx_ft_2spanner(d, r, seed, options);
-
+/// Symmetrize a directed selection back to undirected edges (keep an edge
+/// iff either arc was kept), re-verify the undirected Lemma 3.1 condition,
+/// and run the symmetrized repair if the asymmetric solution left a gap.
+UndirectedTwoSpannerResult symmetrize(const Graph& g, const Digraph& d,
+                                      const std::vector<char>& directed_sel,
+                                      double lp_value, std::size_t r) {
   UndirectedTwoSpannerResult out;
-  out.lp_value = directed.lp_value;
+  out.lp_value = lp_value;
   out.in_spanner.assign(g.num_edges(), 0);
-  if (directed.in_spanner.empty()) return out;
+  if (directed_sel.empty()) return out;
   for (EdgeId id = 0; id < g.num_edges(); ++id)
-    if (directed.in_spanner[2 * id] || directed.in_spanner[2 * id + 1])
+    if (directed_sel[2 * id] || directed_sel[2 * id + 1])
       out.in_spanner[id] = 1;
 
   for (EdgeId id = 0; id < g.num_edges(); ++id)
@@ -65,6 +55,49 @@ UndirectedTwoSpannerResult approx_ft_2spanner_undirected(
     out.valid = is_ft_2spanner_undirected(g, out.in_spanner, r);
   }
   return out;
+}
+
+}  // namespace
+
+bool is_ft_2spanner_undirected(const Graph& g,
+                               const std::vector<char>& in_spanner,
+                               std::size_t r) {
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    if (in_spanner[id]) continue;
+    const Edge& e = g.edge(id);
+    std::size_t paths = 0;
+    for (const Arc& a : g.neighbors(e.u)) {
+      if (a.to == e.v || !in_spanner[a.edge]) continue;
+      const auto second = g.edge_id(a.to, e.v);
+      if (second && in_spanner[*second] && ++paths > r) break;
+    }
+    if (paths < r + 1) return false;
+  }
+  return true;
+}
+
+UndirectedTwoSpannerResult approx_ft_2spanner_undirected(
+    const Graph& g, std::size_t r, std::uint64_t seed,
+    const RoundingOptions& options) {
+  const Digraph d = half_cost_bidirect(g);
+  const TwoSpannerResult directed = approx_ft_2spanner(d, r, seed, options);
+  return symmetrize(g, d, directed.in_spanner, directed.lp_value, r);
+}
+
+UndirectedTwoSpannerResult dk10_ft_2spanner_undirected(
+    const Graph& g, std::size_t r, std::uint64_t seed,
+    const RoundingOptions& options) {
+  const Digraph d = half_cost_bidirect(g);
+  const TwoSpannerResult directed = dk10_ft_2spanner(d, r, seed, options);
+  return symmetrize(g, d, directed.in_spanner, directed.lp_value, r);
+}
+
+UndirectedTwoSpannerResult lll_ft_2spanner_undirected(
+    const Graph& g, std::size_t r, std::uint64_t seed,
+    const LllOptions& options) {
+  const Digraph d = half_cost_bidirect(g);
+  const LllResult directed = lll_ft_2spanner(d, r, seed, options);
+  return symmetrize(g, d, directed.in_spanner, directed.lp_value, r);
 }
 
 }  // namespace ftspan

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "graph/graph.hpp"
+#include "spanner2/lll.hpp"
 #include "spanner2/rounding.hpp"
 
 namespace ftspan {
@@ -35,5 +36,18 @@ struct UndirectedTwoSpannerResult {
 UndirectedTwoSpannerResult approx_ft_2spanner_undirected(
     const Graph& g, std::size_t r, std::uint64_t seed,
     const RoundingOptions& options = {});
+
+/// The DK10 baseline (weaker LP, α = Θ((r+1) log n)) through the same
+/// bidirect-and-symmetrize reduction — the undirected face of
+/// dk10_ft_2spanner, for apples-to-apples comparison with the above.
+UndirectedTwoSpannerResult dk10_ft_2spanner_undirected(
+    const Graph& g, std::size_t r, std::uint64_t seed,
+    const RoundingOptions& options = {});
+
+/// Theorem 3.4's O(log Δ) LLL algorithm through the same reduction
+/// (intended for unit-length bounded-degree graphs).
+UndirectedTwoSpannerResult lll_ft_2spanner_undirected(
+    const Graph& g, std::size_t r, std::uint64_t seed,
+    const LllOptions& options = {});
 
 }  // namespace ftspan

@@ -43,6 +43,34 @@ class Table {
     return cell(std::to_string(v));
   }
 
+  /// RFC-4180-style CSV: one header line then one line per row. Fields
+  /// containing a comma, quote, CR, or LF are quoted, with embedded quotes
+  /// doubled. Used by the scenario runner's `--format csv`.
+  void print_csv(std::ostream& os = std::cout) const {
+    auto emit_field = [&os](const std::string& s) {
+      if (s.find_first_of(",\"\r\n") == std::string::npos) {
+        os << s;
+        return;
+      }
+      os << '"';
+      for (const char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    };
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c > 0) os << ',';
+        emit_field(c < cells.size() ? cells[c] : std::string());
+      }
+      os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto& r : rows_) emit_row(r);
+    os.flush();
+  }
+
   void print(std::ostream& os = std::cout) const {
     std::vector<std::size_t> width(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c)

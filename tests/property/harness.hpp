@@ -32,12 +32,10 @@
 #include <string>
 #include <vector>
 
-#include "ftspanner/conversion.hpp"
 #include "ftspanner/edge_faults.hpp"
 #include "graph/generators.hpp"
-#include "spanner/baswana_sen.hpp"
-#include "spanner/greedy.hpp"
-#include "spanner/thorup_zwick.hpp"
+#include "runner/algorithms.hpp"
+#include "runner/workloads.hpp"
 #include "util/rng.hpp"
 #include "validate/stretch_oracle.hpp"
 
@@ -167,82 +165,54 @@ inline std::optional<CellFailure> run_cell(const Generator& gen,
   return fail;
 }
 
-/// The standard generator set: six families, all scale- and seed-driven.
-/// Full-scale instances are 10-50x larger than the fixed n = 12..48 graphs
-/// the legacy validator tests used.
+/// The standard generator set — thin wrappers over the runner's workload
+/// registry (src/runner/workloads.hpp), so the property matrix validates
+/// exactly the instances the benches and `ftspan bench` run. Eight
+/// families; the registry's `scale` knob drives the shrinking loop.
 inline std::vector<Generator> default_generators() {
-  const auto scaled = [](std::size_t full, double scale, std::size_t floor_n) {
-    return std::max<std::size_t>(
-        floor_n, static_cast<std::size_t>(std::lround(full * scale)));
-  };
   std::vector<Generator> out;
-  out.push_back({"gnp", [scaled](double s, std::uint64_t seed) {
-                   const std::size_t n = scaled(240, s, 12);
-                   const double p = std::min(1.0, 10.0 / static_cast<double>(n));
-                   std::ostringstream os;
-                   os << "n=" << n << " p=" << p;
-                   return GraphCase{gnp(n, p, seed), os.str()};
-                 }});
-  out.push_back({"geometric", [scaled](double s, std::uint64_t seed) {
-                   const std::size_t n = scaled(200, s, 12);
-                   const double radius = 1.7 / std::sqrt(static_cast<double>(n));
-                   std::ostringstream os;
-                   os << "n=" << n << " radius=" << radius;
-                   return GraphCase{random_geometric(n, radius, seed), os.str()};
-                 }});
-  out.push_back({"grid", [scaled](double s, std::uint64_t) {
-                   const std::size_t side = scaled(15, std::sqrt(s), 3);
-                   std::ostringstream os;
-                   os << "rows=" << side << " cols=" << side;
-                   return GraphCase{grid(side, side), os.str()};
-                 }});
-  out.push_back({"hypercube", [](double s, std::uint64_t) {
-                   const double bits = std::log2(std::max(8.0, 256.0 * s));
-                   const std::size_t d = static_cast<std::size_t>(bits);
-                   std::ostringstream os;
-                   os << "d=" << d;
-                   return GraphCase{hypercube(d), os.str()};
-                 }});
-  out.push_back({"barabasi_albert", [scaled](double s, std::uint64_t seed) {
-                   const std::size_t n = scaled(220, s, 14);
-                   std::ostringstream os;
-                   os << "n=" << n << " m=4";
-                   return GraphCase{barabasi_albert(n, 4, seed), os.str()};
-                 }});
-  out.push_back({"watts_strogatz", [scaled](double s, std::uint64_t seed) {
-                   const std::size_t n = scaled(240, s, 12);
-                   std::ostringstream os;
-                   os << "n=" << n << " k=6 beta=0.2";
-                   return GraphCase{watts_strogatz(n, 6, 0.2, seed), os.str()};
-                 }});
+  for (const char* name : {"gnp", "sensor", "grid", "hypercube",
+                           "preferential", "smallworld", "road",
+                           "tie_dense"}) {
+    const runner::Workload& workload = runner::workload_registry().get(name);
+    out.push_back({name, [&workload](double scale, std::uint64_t seed) {
+                     runner::WorkloadParams wp;
+                     wp.scale = scale;
+                     wp.seed = seed;
+                     runner::WorkloadInstance inst = workload.make(wp);
+                     return GraphCase{std::move(inst.g),
+                                      std::move(inst.params)};
+                   }});
+  }
   return out;
 }
 
-/// The standard algorithm set: the three base constructions plus both
-/// fault-model conversions of Theorem 2.1.
+/// The standard algorithm set — the three base constructions plus both
+/// fault-model conversions of Theorem 2.1, resolved through the runner's
+/// algorithm registry so tests exercise the same factories as the benches.
 inline std::vector<Algorithm> default_algorithms() {
-  std::vector<Algorithm> out;
-  out.push_back({"greedy(k=3)", FaultModel::kNone, 3.0, 0,
-                 [](const Graph& g, std::uint64_t) {
-                   return greedy_spanner(g, 3.0);
-                 }});
-  out.push_back({"baswana_sen(2k-1=3)", FaultModel::kNone, 3.0, 0,
-                 [](const Graph& g, std::uint64_t seed) {
-                   return baswana_sen_spanner(g, 2, seed);
-                 }});
-  out.push_back({"thorup_zwick(2k-1=3)", FaultModel::kNone, 3.0, 0,
-                 [](const Graph& g, std::uint64_t seed) {
-                   return thorup_zwick_spanner(g, 2, seed);
-                 }});
-  out.push_back({"ft_conversion(k=3,r=1)", FaultModel::kVertex, 3.0, 1,
-                 [](const Graph& g, std::uint64_t seed) {
-                   return ft_greedy_spanner(g, 3.0, 1, seed).edges;
-                 }});
-  out.push_back({"ft_edge_conversion(k=3,r=1)", FaultModel::kEdge, 3.0, 1,
-                 [](const Graph& g, std::uint64_t seed) {
-                   return ft_edge_greedy_spanner(g, 3.0, 1, seed).edges;
-                 }});
-  return out;
+  const auto from_registry = [](const std::string& name, FaultModel model,
+                                double k, std::size_t r) {
+    const runner::SpannerAlgorithm& algo =
+        runner::algorithm_registry().get(name);
+    std::ostringstream label;
+    label << name << "(k=" << k;
+    if (r > 0) label << ",r=" << r;
+    label << ")";
+    return Algorithm{label.str(), model, k, r,
+                     [&algo, k, r](const Graph& g, std::uint64_t seed) {
+                       runner::AlgoParams params;
+                       params.k = k;
+                       params.r = r;
+                       params.seed = seed;
+                       return algo.bind(g)(params).edges;
+                     }};
+  };
+  return {from_registry("greedy", FaultModel::kNone, 3.0, 0),
+          from_registry("baswana_sen", FaultModel::kNone, 3.0, 0),
+          from_registry("thorup_zwick", FaultModel::kNone, 3.0, 0),
+          from_registry("ft_vertex", FaultModel::kVertex, 3.0, 1),
+          from_registry("ft_edge", FaultModel::kEdge, 3.0, 1)};
 }
 
 }  // namespace ftspan::proptest

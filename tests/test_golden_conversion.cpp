@@ -14,18 +14,15 @@
 #include "ftspanner/conversion.hpp"
 #include "ftspanner/edge_faults.hpp"
 #include "graph/generators.hpp"
+#include "runner/runner.hpp"
 
 namespace ftspan {
 namespace {
 
+// The shared FNV-1a fingerprint — using the runner's implementation keeps
+// these golden hashes directly comparable to ScenarioCell::edges_hash.
 std::uint64_t fnv1a(const std::vector<EdgeId>& edges) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const EdgeId e : edges)
-    for (int i = 0; i < 8; ++i) {
-      h ^= (static_cast<std::uint64_t>(e) >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  return h;
+  return runner::edge_set_hash(edges);
 }
 
 struct Golden {

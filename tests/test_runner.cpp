@@ -1,0 +1,266 @@
+// The scenario engine (src/runner): registries, spec round-trips, driver
+// determinism, and parity with the direct library APIs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ftspanner/conversion.hpp"
+#include "graph/generators.hpp"
+#include "runner/algorithms.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "runner/workloads.hpp"
+#include "spanner/greedy.hpp"
+
+namespace ftspan {
+namespace {
+
+using runner::AlgoParams;
+using runner::ScenarioReport;
+using runner::ScenarioSpec;
+using runner::WorkloadParams;
+
+// --- registries ---------------------------------------------------------
+
+TEST(Registries, UnknownWorkloadErrorListsValidNames) {
+  try {
+    runner::workload_registry().get("no_such_workload");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload 'no_such_workload'"),
+              std::string::npos)
+        << msg;
+    // Every registered name must appear in the message.
+    for (const std::string& name : runner::workload_registry().names())
+      EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+  }
+}
+
+TEST(Registries, UnknownAlgorithmErrorListsValidNames) {
+  try {
+    runner::algorithm_registry().get("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown algorithm 'bogus'"), std::string::npos);
+    for (const std::string& name : runner::algorithm_registry().names())
+      EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+  }
+}
+
+TEST(Registries, CatalogCoverage) {
+  // The acceptance floor: >= 6 algorithms and >= 5 workloads registered.
+  EXPECT_GE(runner::algorithm_registry().size(), 6u);
+  EXPECT_GE(runner::workload_registry().size(), 5u);
+  for (const char* name : {"greedy", "baswana_sen", "thorup_zwick",
+                           "ft_vertex", "ft_edge", "ft2_rounding",
+                           "ft2_dk10", "ft2_lll"})
+    EXPECT_TRUE(runner::algorithm_registry().contains(name)) << name;
+  for (const char* name : {"gnp", "grid", "sensor", "road", "preferential",
+                           "tie_dense"})
+    EXPECT_TRUE(runner::workload_registry().contains(name)) << name;
+}
+
+TEST(Registries, WorkloadsAreSeedDeterministic) {
+  for (const std::string& name : runner::workload_registry().names()) {
+    WorkloadParams wp;
+    wp.seed = 77;
+    const auto a = runner::make_workload(name, wp);
+    const auto b = runner::make_workload(name, wp);
+    EXPECT_EQ(a.params, b.params) << name;
+    EXPECT_EQ(a.g.num_vertices(), b.g.num_vertices()) << name;
+    EXPECT_EQ(a.g.num_edges(), b.g.num_edges()) << name;
+  }
+}
+
+// --- scenario specs -----------------------------------------------------
+
+TEST(ScenarioSpecTest, ParseToStringRoundTripsByteIdentically) {
+  const char* cases[] = {
+      "workload=gnp wseed=1 algo=ft_vertex k=3 r=1 seed=1 threads=1 reps=1 "
+      "validate=sampled trials=40 adversarial=60 vseed=99",
+      "workload=complete n=14 wseed=1 algo=greedy k=3,5 r=0 seed=3 "
+      "threads=1,2,4,8 reps=2 validate=exact trials=40 adversarial=60 "
+      "vseed=99",
+      "workload=gnp n=128,256 p=0.09375 wseed=42 algo=ft_vertex k=3 r=1,2,4 "
+      "c=0.25 iters=48 seed=7 threads=1 reps=3 validate=none timings=off",
+  };
+  for (const char* text : cases) {
+    const ScenarioSpec spec = ScenarioSpec::parse(text);
+    const std::string canonical = spec.to_string();
+    // parse → to_string → parse: identical spec, identical bytes.
+    const ScenarioSpec again = ScenarioSpec::parse(canonical);
+    EXPECT_EQ(spec, again) << text;
+    EXPECT_EQ(canonical, again.to_string()) << text;
+  }
+  // The cases above are already canonical: to_string must reproduce them.
+  for (const char* text : cases)
+    EXPECT_EQ(ScenarioSpec::parse(text).to_string(), text);
+}
+
+TEST(ScenarioSpecTest, LaterKeysOverrideEarlierOnes) {
+  const ScenarioSpec spec =
+      ScenarioSpec::parse("workload=gnp r=1 r=2,3 seed=5 seed=9");
+  EXPECT_EQ(spec.r, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(spec.seed, 9u);
+}
+
+TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(ScenarioSpec::parse("wibble=1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("r=two"), std::invalid_argument);
+  // strtoull would silently wrap negatives; the parser must reject them.
+  EXPECT_THROW(ScenarioSpec::parse("r=-1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("seed=+7"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("validate=maybe"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("timings=sometimes"),
+               std::invalid_argument);
+  try {
+    ScenarioSpec::parse("frobnicate=1");
+  } catch (const std::invalid_argument& e) {
+    // The unknown-key error teaches the valid keys.
+    EXPECT_NE(std::string(e.what()).find("valid keys"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(runner::format_double(3.0), "3");
+  EXPECT_EQ(runner::format_double(0.05), "0.05");
+  EXPECT_EQ(runner::format_double(0.09375), "0.09375");
+  const double ugly = 1.7 / 7.3;
+  EXPECT_EQ(std::strtod(runner::format_double(ugly).c_str(), nullptr), ugly);
+}
+
+// --- the driver ---------------------------------------------------------
+
+TEST(ScenarioRunner, ExpandsSweepsInDocumentedOrder) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "workload=gnp n=16,24 p=0.4 wseed=3 algo=ft_vertex k=3 r=1,2 c=0.25 "
+      "seed=5 threads=1 reps=1 validate=none");
+  const ScenarioReport report = runner::run_scenario(spec);
+  ASSERT_EQ(report.cells.size(), 4u);  // n-major, then k, then r, then threads
+  EXPECT_EQ(report.cells[0].n, 16u);
+  EXPECT_EQ(report.cells[0].r, 1u);
+  EXPECT_EQ(report.cells[1].n, 16u);
+  EXPECT_EQ(report.cells[1].r, 2u);
+  EXPECT_EQ(report.cells[2].n, 24u);
+  EXPECT_EQ(report.cells[3].n, 24u);
+}
+
+TEST(ScenarioRunner, MatchesDirectLibraryCalls) {
+  // The runner cell for ft_vertex must reproduce ft_greedy_spanner
+  // bit-for-bit: same workload instance, same conversion, same edge set.
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "workload=gnp n=48 p=0.2 wseed=11 algo=ft_vertex k=3 r=2 c=0.5 seed=13 "
+      "threads=1 reps=2 validate=exact trials=40 adversarial=60 vseed=99");
+  const ScenarioReport report = runner::run_scenario(spec);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const runner::ScenarioCell& cell = report.cells[0];
+
+  const Graph g = gnp(48, 0.2, 11);
+  ConversionOptions opt;
+  opt.iteration_constant = 0.5;
+  const auto direct = ft_greedy_spanner(g, 3.0, 2, 13, opt);
+  EXPECT_EQ(cell.m, g.num_edges());
+  EXPECT_EQ(cell.edges, direct.edges.size());
+  EXPECT_EQ(cell.edges_hash, runner::edge_set_hash(direct.edges));
+  EXPECT_EQ(static_cast<std::size_t>(cell.stat("iterations")),
+            direct.iterations);
+}
+
+TEST(ScenarioRunner, RepetitionsReuseBoundScratchWithoutChangingMetrics) {
+  const Graph g = gnp(40, 0.25, 7);
+  const runner::BoundAlgorithm bound =
+      runner::algorithm_registry().get("ft_vertex").bind(g);
+  AlgoParams params;
+  params.k = 3.0;
+  params.r = 1;
+  params.c = 0.5;
+  params.seed = 21;
+  const runner::AlgoResult first = bound(params);
+  for (int rep = 0; rep < 3; ++rep) {
+    const runner::AlgoResult again = bound(params);
+    EXPECT_EQ(again.edges, first.edges) << "rep " << rep;
+  }
+}
+
+TEST(ScenarioRunner, JsonIsBitIdenticalAcrossThreadCounts) {
+  // The determinism contract end to end: same spec and seeds, timings off,
+  // any thread count — every computed metric in the emitted cells is
+  // byte-identical. The only fields allowed to differ are the ones that
+  // *echo* the requested width ("threads": N and the threads_used stat);
+  // the normalizer below blanks exactly those before comparing.
+  const auto normalize = [](std::string s) {
+    for (const char* needle : {"\"threads\": ", "\"threads_used\": "}) {
+      std::size_t at = 0;
+      while ((at = s.find(needle, at)) != std::string::npos) {
+        at += std::string(needle).size();
+        while (at < s.size() && (std::isdigit(s[at]) != 0)) s.erase(at, 1);
+      }
+    }
+    return s;
+  };
+  std::string cells_at_1;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::ostringstream spec_text;
+    spec_text << "workload=gnp n=60 p=0.2 wseed=3 algo=ft_vertex k=3 r=1,2 "
+                 "c=0.25 seed=5 threads="
+              << threads
+              << " reps=2 validate=sampled trials=6 adversarial=6 vseed=9 "
+                 "timings=off";
+    const ScenarioReport report =
+        runner::run_scenario(ScenarioSpec::parse(spec_text.str()));
+    std::ostringstream json;
+    runner::print_json(report, json);
+    const std::string text = json.str();
+    // Compare everything from the cells array on (the echoed spec string
+    // legitimately differs in its threads= token).
+    const std::size_t at = text.find("\"cells\"");
+    ASSERT_NE(at, std::string::npos);
+    const std::string cells = normalize(text.substr(at));
+    EXPECT_NE(cells.find("\"edges_hash\""), std::string::npos);
+    if (threads == 1)
+      cells_at_1 = cells;
+    else
+      EXPECT_EQ(cells, cells_at_1) << "threads=" << threads;
+  }
+}
+
+TEST(ScenarioRunner, TwoSpannerAlgorithmsForceK2AndValidate) {
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "workload=gnp n=14 p=0.4 wseed=7 algo=ft2_rounding k=3 r=1 seed=3 "
+      "reps=1 validate=exact");
+  const ScenarioReport report = runner::run_scenario(spec);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const runner::ScenarioCell& cell = report.cells[0];
+  EXPECT_EQ(cell.k, 2.0);  // fixed_k overrides the spec's k=3
+  EXPECT_TRUE(cell.valid) << "worst stretch " << cell.worst_stretch;
+  EXPECT_EQ(cell.stat("lemma_valid"), 1.0);
+  EXPECT_GT(cell.stat("lp_value"), 0.0);
+}
+
+TEST(ScenarioRunner, UnknownNamesSurfaceFromTheDriver) {
+  ScenarioSpec spec;
+  spec.workload = "mystery";
+  EXPECT_THROW(runner::run_scenario(spec), std::invalid_argument);
+  spec.workload = "gnp";
+  spec.algo = "mystery";
+  EXPECT_THROW(runner::run_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioRunner, PresetsParseAndCoverEveryAlgorithm) {
+  for (const std::string& name : runner::preset_registry().names()) {
+    const runner::ScenarioPreset& preset =
+        runner::preset_registry().get(name);
+    // Every committed preset must parse and name registered entries.
+    const ScenarioSpec spec = ScenarioSpec::parse(preset.spec);
+    EXPECT_TRUE(runner::workload_registry().contains(spec.workload)) << name;
+    EXPECT_TRUE(runner::algorithm_registry().contains(spec.algo)) << name;
+  }
+  for (const std::string& algo : runner::algorithm_registry().names())
+    EXPECT_TRUE(runner::preset_registry().contains("smoke_" + algo)) << algo;
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,49 @@
+// util/table.hpp: the markdown layout and the CSV emit mode.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ftspan {
+namespace {
+
+Table sample() {
+  Table t({"name", "value", "note"});
+  t.row().cell("plain").cell(42).cell(1.5, 2);
+  t.row().cell("with, comma").cell("say \"hi\"").cell("line\nbreak");
+  t.row().cell("short");  // missing trailing cells pad as empty
+  return t;
+}
+
+TEST(Table, MarkdownLayoutAlignsColumns) {
+  std::ostringstream os;
+  sample().print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| name "), std::string::npos);
+  EXPECT_NE(text.find("| plain "), std::string::npos);
+  EXPECT_NE(text.find("| 1.50 "), std::string::npos);
+  EXPECT_NE(text.find("|------"), std::string::npos);
+}
+
+TEST(Table, CsvEmitsHeaderAndRows) {
+  Table t({"a", "b"});
+  t.row().cell(1).cell(2);
+  t.row().cell(3).cell(4);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, CsvQuotesSpecialFieldsAndPadsShortRows) {
+  std::ostringstream os;
+  sample().print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value,note\n"
+            "plain,42,1.50\n"
+            "\"with, comma\",\"say \"\"hi\"\"\",\"line\nbreak\"\n"
+            "short,,\n");
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -29,6 +29,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
+#include "runner/runner.hpp"
+#include "runner/scenario.hpp"
+#include "runner/workloads.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/greedy.hpp"
 #include "spanner/thorup_zwick.hpp"
@@ -145,6 +148,17 @@ void print_usage(std::FILE* out) {
       "                       bit-identical for every T.\n"
       "      --seed S         RNG seed for the sampled mode, default 7\n"
       "\n"
+      "  bench                run a scenario through the unified runner\n"
+      "                       (workload x algorithm x k/r/threads sweep x\n"
+      "                       validation; see docs/SCENARIOS.md)\n"
+      "      bench <preset> [key=value ...]   run a named preset, overriding\n"
+      "                                       spec keys from the command line\n"
+      "      bench <key=value ...>            run an inline scenario spec\n"
+      "      bench --list                     list presets, workloads, algos\n"
+      "      --format F       table (default) | csv | json\n"
+      "      -o FILE          write the report to FILE instead of stdout\n"
+      "\n"
+      "  version              print the build's git describe and build type\n"
       "  selftest             gen -> ft -> exact-verify round trip (ctest)\n"
       "  help                 print this text\n"
       "\n"
@@ -373,6 +387,83 @@ int cmd_check(const Args& a) {
   return res.valid ? 0 : 1;
 }
 
+// Configure-time stamps (see CMakeLists.txt); fall back gracefully when the
+// CLI is compiled outside the CMake build.
+#ifndef FTSPAN_GIT_DESCRIBE
+#define FTSPAN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FTSPAN_BUILD_TYPE
+#define FTSPAN_BUILD_TYPE "unknown"
+#endif
+
+/// `version` — the build's git describe and CMake build type.
+int cmd_version() {
+  std::printf("ftspan %s (%s build)\n", FTSPAN_GIT_DESCRIBE,
+              FTSPAN_BUILD_TYPE);
+  return 0;
+}
+
+/// `bench` — the unified scenario runner: a named preset or an inline
+/// key=value spec, optional spec overrides, table/csv/json output.
+int cmd_bench(const Args& a) {
+  if (a.flag("list")) {
+    std::printf("presets:\n");
+    for (const std::string& name : runner::preset_registry().names())
+      std::printf("  %-28s %s\n", name.c_str(),
+                  runner::preset_registry().get(name).summary.c_str());
+    std::printf("\nworkloads:\n");
+    for (const std::string& name : runner::workload_registry().names())
+      std::printf("  %-28s %s\n", name.c_str(),
+                  runner::workload_registry().get(name).summary.c_str());
+    std::printf("\nalgorithms:\n");
+    for (const std::string& name : runner::algorithm_registry().names())
+      std::printf("  %-28s %s\n", name.c_str(),
+                  runner::algorithm_registry().get(name).summary.c_str());
+    return 0;
+  }
+  if (a.positional.empty()) return usage();
+
+  // A first positional without '=' names a preset; everything else (and
+  // every later positional) is appended as key=value overrides — the spec
+  // parser lets later keys win.
+  std::string spec_text;
+  std::size_t first = 0;
+  if (a.positional[0].find('=') == std::string::npos) {
+    spec_text = runner::preset_registry().get(a.positional[0]).spec;
+    first = 1;
+  }
+  for (std::size_t i = first; i < a.positional.size(); ++i)
+    spec_text += " " + a.positional[i];
+  const runner::ScenarioSpec spec = runner::ScenarioSpec::parse(spec_text);
+  const runner::ScenarioReport report = runner::run_scenario(spec);
+
+  const std::string format = a.get("format", "table");
+  const std::string out = a.get("o");
+  std::ofstream file;
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+  }
+  std::ostream& os = out.empty() ? std::cout : file;
+  if (format == "table") {
+    os << "# spec: " << spec.to_string() << "\n";
+    runner::print_table(report, os);
+  } else if (format == "csv") {
+    runner::print_csv(report, os);
+  } else if (format == "json") {
+    runner::print_json(report, os);
+  } else {
+    std::fprintf(stderr, "unknown --format '%s' (table | csv | json)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (!out.empty()) std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 int cmd_selftest() {
   // gen → ft → verify round trip through temp files; exercised by ctest.
   const std::string dir = "/tmp";
@@ -421,6 +512,8 @@ int main(int argc, char** argv) {
     if (cmd == "ft2") return cmd_ft2(a);
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "check") return cmd_check(a);
+    if (cmd == "bench") return cmd_bench(a);
+    if (cmd == "version") return cmd_version();
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
