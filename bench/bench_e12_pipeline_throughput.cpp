@@ -1,0 +1,191 @@
+// E12 — engine specialization + burst pipeline throughput.
+//
+// PR 6 adds two single-thread levers under the same scenario cells PR 4/5
+// tracked: (1) the Dial bucket-queue frontier, selected per graph by the
+// engine=auto policy when the hoisted weight profile shows bounded integer
+// weights, and (2) the dataplane burst pipeline (pipeline/burst_pipeline.hpp)
+// that routes conversion iterations and fault-set checks to worker-pinned
+// engines in fixed-size bursts instead of one shared-counter bounce per task.
+//
+// This bench runs the two *tracked presets* (conv_throughput,
+// validation_throughput — the exact cells `ftspan bench` and CI execute)
+// under engine=heap|bucket|auto, checks that every policy produces
+// bit-identical outputs, and reports the measured multiples. It then sweeps
+// the burst geometry to show batch= never changes a bit.
+//
+//   $ ./bench_e12_pipeline_throughput [trials] [--json <path>]
+//
+// Acceptance: all three engine policies bit-identical on both cells
+// (edges_hash, worst stretch, witnesses); engine=auto resolves to the bucket
+// on these unit-weight graphs and its validation throughput beats the forced
+// heap by >= 1.1x at one thread. `--json <path>` writes the runner's JSON
+// record of both auto-policy cells — the BENCH_pr6.json snapshot CI gates
+// against.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "runner/runner.hpp"
+#include "util/table.hpp"
+
+using namespace ftspan;
+using runner::ScenarioCell;
+using runner::ScenarioReport;
+using runner::ScenarioSpec;
+
+namespace {
+
+/// The tracked preset, parsed from the registry so this bench can never
+/// drift from what `ftspan bench <name>` runs.
+ScenarioSpec preset_spec(const std::string& name) {
+  return ScenarioSpec::parse(runner::preset_registry().get(name).spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::size_t trials = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      trials = std::strtoul(argv[i], nullptr, 10);
+    }
+  }
+
+  std::printf("# E12: engine specialization + burst pipeline\n");
+  bool ok = true;
+
+  // --- conversion cell: engine policy sweep -------------------------------
+  double conv_heap_ips = 0, conv_auto_ips = 0;
+  {
+    banner("conv_throughput preset under engine=heap|bucket|auto");
+    ScenarioSpec spec = preset_spec("conv_throughput");
+    Table t({"engine", "sec (best)", "iters/s", "|H|", "edges_hash"});
+    std::uint64_t hash0 = 0;
+    for (const char* engine : {"heap", "bucket", "auto"}) {
+      spec.engine = engine;
+      const ScenarioReport report = runner::run_scenario(spec);
+      const ScenarioCell& cell = report.cells.front();
+      const double ips = cell.stat("iterations") / cell.seconds_best;
+      if (std::strcmp(engine, "heap") == 0) conv_heap_ips = ips;
+      if (std::strcmp(engine, "auto") == 0) conv_auto_ips = ips;
+      char hash[32];
+      std::snprintf(hash, sizeof hash, "0x%016llx",
+                    static_cast<unsigned long long>(cell.edges_hash));
+      t.row()
+          .cell(engine)
+          .cell(cell.seconds_best, 3)
+          .cell(ips, 1)
+          .cell(cell.edges)
+          .cell(hash);
+      if (hash0 == 0)
+        hash0 = cell.edges_hash;
+      else if (cell.edges_hash != hash0) {
+        std::printf("BIT-IDENTITY FAILED: engine=%s changed the edge set\n",
+                    engine);
+        ok = false;
+      }
+    }
+    t.print();
+    std::printf("\nauto/heap multiple: %.2fx (unit weights: auto resolves to "
+                "the bucket queue)\n",
+                conv_auto_ips / conv_heap_ips);
+  }
+
+  // --- validation cell: engine policy sweep -------------------------------
+  double val_heap_sps = 0, val_bucket_sps = 0;
+  {
+    banner("validation_throughput preset under engine=heap|bucket|auto");
+    ScenarioSpec spec = preset_spec("validation_throughput");
+    spec.trials = trials;  // more fault sets -> steadier clock
+    Table t({"engine", "val sec", "sets/s", "worst stretch"});
+    ScenarioCell base;
+    bool have_base = false;
+    for (const char* engine : {"heap", "bucket", "auto"}) {
+      spec.engine = engine;
+      const ScenarioReport report = runner::run_scenario(spec);
+      const ScenarioCell& cell = report.cells.front();
+      const double sps = cell.fault_sets / cell.val_seconds;
+      if (std::strcmp(engine, "heap") == 0) val_heap_sps = sps;
+      if (std::strcmp(engine, "bucket") == 0) val_bucket_sps = sps;
+      t.row()
+          .cell(engine)
+          .cell(cell.val_seconds, 3)
+          .cell(sps, 1)
+          .cell(cell.worst_stretch, 4);
+      if (!have_base) {
+        base = cell;
+        have_base = true;
+      } else if (cell.worst_stretch != base.worst_stretch ||
+                 cell.witness_u != base.witness_u ||
+                 cell.witness_v != base.witness_v ||
+                 cell.valid != base.valid) {
+        std::printf("BIT-IDENTITY FAILED: engine=%s changed the validation "
+                    "result\n",
+                    engine);
+        ok = false;
+      }
+    }
+    t.print();
+    const double multiple = val_bucket_sps / val_heap_sps;
+    std::printf("\nbucket/heap multiple: %.2fx (need >= 1.1x)\n", multiple);
+    if (multiple < 1.1) {
+      std::printf("acceptance FAILED: bucket did not beat the heap\n");
+      ok = false;
+    }
+  }
+
+  // --- burst geometry: batch= must never change a bit ---------------------
+  {
+    banner("burst geometry sweep (batch= is perf-only)");
+    ScenarioSpec spec = preset_spec("conv_throughput");
+    spec.reps = 1;
+    spec.threads = {2};  // engage the pipeline even on small CI boxes
+    Table t({"batch", "sec", "edges_hash"});
+    std::uint64_t hash0 = 0;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{16},
+                                    std::size_t{256}}) {
+      spec.batch = batch;
+      const ScenarioReport report = runner::run_scenario(spec);
+      const ScenarioCell& cell = report.cells.front();
+      char hash[32];
+      std::snprintf(hash, sizeof hash, "0x%016llx",
+                    static_cast<unsigned long long>(cell.edges_hash));
+      t.row().cell(batch).cell(cell.seconds_best, 3).cell(hash);
+      if (hash0 == 0)
+        hash0 = cell.edges_hash;
+      else if (cell.edges_hash != hash0) {
+        std::printf("BIT-IDENTITY FAILED: batch=%zu changed the edge set\n",
+                    batch);
+        ok = false;
+      }
+    }
+    t.print();
+  }
+
+  // --- the tracked snapshot ------------------------------------------------
+  if (json_path != nullptr) {
+    // Both tracked cells at their preset definitions (engine=auto): the
+    // BENCH_pr6.json lineage CI's perf-smoke gates against.
+    const ScenarioReport report = runner::run_scenarios(
+        {preset_spec("conv_throughput"), preset_spec("validation_throughput")});
+    std::ofstream os(json_path);
+    if (!os) {
+      std::printf("ERROR: cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    runner::print_json(report, os);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  std::printf("\n%s\n", ok ? "acceptance PASSED" : "acceptance FAILED");
+  return ok ? 0 : 1;
+}

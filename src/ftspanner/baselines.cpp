@@ -63,6 +63,7 @@ std::vector<EdgeId> layered_greedy_spanner(const Graph& g, double k,
   const GreedyContext ctx(g);
   GreedyWorkspace ws;
   ws.reserve(g.num_vertices(), g.num_edges());
+  ws.configure_scratch(ctx.weights);
 
   std::vector<char> taken(g.num_edges(), 0);
   std::vector<EdgeId> out;

@@ -74,8 +74,8 @@ ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
 
   // Passing the already-resolved count keeps threads_used exactly what the
   // engine runs with (resolve_threads is idempotent on its own output).
-  result.edges = marks_to_edges(
-      union_iterations(alpha, result.threads_used, g.num_edges(), bodies));
+  result.edges = marks_to_edges(union_iterations(
+      alpha, result.threads_used, g.num_edges(), options.batch, bodies));
   if (alpha > 0)
     result.max_survivors = *std::max_element(survivors.begin(), survivors.end());
   return result;
@@ -104,10 +104,12 @@ ConversionResult ft_greedy_spanner(const Graph& g, double k, std::size_t r,
   // The hoisted per-graph state: one edge-weight sort shared by every
   // iteration and every worker (it is read-only after construction).
   const GreedyContext ctx(g);
-  const BaseSpannerFactory factory = [&ctx, k]() -> BoundBaseSpanner {
-    return [&ctx, k, ws = std::make_shared<GreedyWorkspace>()](
-               const VertexSet* mask,
-               std::uint64_t) -> std::span<const EdgeId> {
+  const SpEnginePolicy engine = options.engine;
+  const BaseSpannerFactory factory = [&ctx, k, engine]() -> BoundBaseSpanner {
+    auto ws = std::make_shared<GreedyWorkspace>();
+    ws->set_engine(engine);
+    return [&ctx, k, ws](const VertexSet* mask,
+                         std::uint64_t) -> std::span<const EdgeId> {
       return ws->run(ctx, k, mask);
     };
   };

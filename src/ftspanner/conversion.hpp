@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/engine_policy.hpp"
 #include "graph/graph.hpp"
 
 namespace ftspan {
@@ -64,6 +65,15 @@ struct ConversionOptions {
   /// shared sequential stream. With threads != 1 the BaseSpanner callback
   /// must be safe to invoke concurrently.
   std::size_t threads = 1;
+
+  /// Shortest-path engine policy for the built-in greedy base
+  /// (graph/engine_policy.hpp); custom BaseSpanner callbacks are free to
+  /// ignore it. Never affects the output edge set.
+  SpEnginePolicy engine = SpEnginePolicy::kAuto;
+
+  /// Iterations per burst handed to a pipeline worker (0 = default burst;
+  /// see pipeline/burst_pipeline.hpp). Irrelevant to the output.
+  std::size_t batch = 0;
 };
 
 struct ConversionResult {

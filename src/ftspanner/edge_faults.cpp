@@ -103,10 +103,18 @@ EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
   // so outputs stay bit-identical to pre-engine even for tied edge weights,
   // where filtering a single hoisted (unstably sorted) global order would
   // visit equal-weight edges in a different relative order.
-  const IterationBodyFactory bodies = [&g, k, keep, seed, n,
-                                       m](std::size_t) -> IterationBody {
+  // Weight facts hoisted once per graph: shared by every worker's engine
+  // selection and exact-sums fast path (satellite of the bucket-queue work).
+  WeightProfile profile;
+  for (EdgeId id = 0; id < m; ++id) profile.observe(g.edge(id).w);
+
+  const SpEnginePolicy engine = options.engine;
+  const IterationBodyFactory bodies = [&g, k, keep, seed, n, m, profile,
+                                       engine](std::size_t) -> IterationBody {
     auto ws = std::make_shared<GreedyWorkspace>();
     ws->reserve(n, m);
+    ws->set_engine(engine);
+    ws->configure_scratch(profile);
     auto survivors = std::vector<EdgeId>();
     survivors.reserve(m);
     // Move-capture: a copy would silently drop the reserved capacity.
@@ -130,8 +138,8 @@ EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
     };
   };
 
-  out.edges = marks_to_edges(
-      union_iterations(out.iterations, out.threads_used, m, bodies));
+  out.edges = marks_to_edges(union_iterations(out.iterations, out.threads_used,
+                                              m, options.batch, bodies));
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/engine_policy.hpp"
 #include "graph/graph.hpp"
 
 namespace ftspan {
@@ -30,6 +31,14 @@ struct EdgeFtOptions {
   /// kMaxConversionThreads). Every value yields a bit-identical edge set for
   /// the same seed.
   std::size_t threads = 1;
+
+  /// Shortest-path engine policy for the per-iteration greedy searches
+  /// (graph/engine_policy.hpp). Output is engine-independent.
+  SpEnginePolicy engine = SpEnginePolicy::kAuto;
+
+  /// Iterations per burst handed to a pipeline worker (0 = default burst;
+  /// see pipeline/burst_pipeline.hpp). Irrelevant to the output.
+  std::size_t batch = 0;
 };
 
 struct EdgeFtResult {

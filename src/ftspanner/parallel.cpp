@@ -1,8 +1,8 @@
 #include "ftspanner/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 
+#include "pipeline/burst_pipeline.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftspan {
@@ -16,12 +16,18 @@ std::size_t resolve_threads(std::size_t requested, std::size_t iterations) {
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges,
                                    const IterationBody& body) {
-  return union_iterations(iterations, threads, num_edges,
+  return union_iterations(iterations, threads, num_edges, 0,
                           [&body](std::size_t) { return body; });
 }
 
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges,
+                                   const IterationBodyFactory& factory) {
+  return union_iterations(iterations, threads, num_edges, 0, factory);
+}
+
+std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
+                                   std::size_t num_edges, std::size_t burst,
                                    const IterationBodyFactory& factory) {
   const std::size_t workers = resolve_threads(threads, iterations);
 
@@ -32,23 +38,21 @@ std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
     return marks;
   }
 
+  // Per-worker mark buffers: the burst pipeline guarantees worker w's task
+  // runs only on worker w's thread, so buffers[w] needs no synchronization
+  // beyond the pipeline's own join.
   std::vector<std::vector<char>> buffers(workers,
                                          std::vector<char>(num_edges, 0));
-  std::atomic<std::size_t> next{0};
-  {
-    ThreadPool pool(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-      pool.submit([&buffers, &next, &factory, iterations, w] {
-        std::vector<char>& marks = buffers[w];
-        const IterationBody body = factory(w);
-        for (std::size_t it = next.fetch_add(1, std::memory_order_relaxed);
-             it < iterations;
-             it = next.fetch_add(1, std::memory_order_relaxed))
-          body(it, marks);
-      });
-    pool.wait_idle();
-  }
+  BurstOptions opt;
+  opt.workers = workers;
+  opt.burst = burst;
+  run_bursts(iterations, opt, [&buffers, &factory](std::size_t w) -> BurstTask {
+    return [&marks = buffers[w],
+            body = factory(w)](std::size_t it) { body(it, marks); };
+  });
 
+  // Fold in worker order: OR is commutative, so this is determinism garnish —
+  // but it keeps the merged buffer's construction reproducible too.
   std::vector<char> out = std::move(buffers[0]);
   for (std::size_t w = 1; w < workers; ++w)
     for (std::size_t i = 0; i < num_edges; ++i) out[i] |= buffers[w][i];

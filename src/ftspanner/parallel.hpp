@@ -55,9 +55,10 @@ std::size_t resolve_threads(std::size_t requested, std::size_t iterations);
 
 /// Runs `iterations` bodies across resolve_threads(threads, iterations)
 /// workers (inline, pool-free, when that resolves to 1) and returns the
-/// OR-union of their marks — a buffer of `num_edges` chars. Workers pull
-/// iteration indices from a shared atomic counter (dynamic load balancing;
-/// harmless for determinism by the rules above) and each owns a private mark
+/// OR-union of their marks — a buffer of `num_edges` chars. Iterations are
+/// fed to the workers in fixed-size bursts through per-worker SPSC rings
+/// (pipeline/burst_pipeline.hpp), so the shared-line hand-off cost is paid
+/// once per burst, not once per iteration; each worker owns a private mark
 /// buffer, so the hot loop is write-contention-free. Rethrows the first
 /// exception an iteration raised.
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
@@ -68,6 +69,12 @@ std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
 /// once via `factory` and then drains iterations through it.
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges,
+                                   const IterationBodyFactory& factory);
+
+/// As above with an explicit burst size (iterations per ring hand-off);
+/// 0 picks the default. Burst size never changes the output.
+std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
+                                   std::size_t num_edges, std::size_t burst,
                                    const IterationBodyFactory& factory);
 
 /// Collects the marked edge ids in increasing order — the canonical output

@@ -10,6 +10,8 @@
 // selection) is unchanged by the snapshot.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -21,6 +23,27 @@
 #include "graph/types.hpp"
 
 namespace ftspan {
+
+/// Aggregate weight facts hoisted out of the hot loops: computed once per
+/// graph snapshot (Csr::build, GreedyContext) instead of tracked per added
+/// edge. Shared by the greedy tie-window fast path, the engine's
+/// heap-vs-bucket `auto` selection, and the StretchOracle scratch setup.
+struct WeightProfile {
+  bool integral = true;    ///< every observed weight is a non-negative integer
+  Weight max_weight = 0;   ///< largest observed weight
+  Weight total_weight = 0; ///< sum of observed weights (exactness guard)
+
+  void observe(Weight w) {
+    integral = integral && w >= 0 && w == std::floor(w);
+    max_weight = std::max(max_weight, w);
+    total_weight += w;
+  }
+
+  /// True when every path sum over these weights is exactly representable in
+  /// a double regardless of summation order: integers with a total far below
+  /// 2^53, so no intermediate sum can round.
+  bool exact_sums() const { return integral && total_weight < 4.0e15; }
+};
 
 /// Flat adjacency entry. Same fields as Arc, packed so a vertex's arcs sit in
 /// one contiguous 16-byte-strided run.
@@ -52,6 +75,12 @@ class Csr {
   }
   std::size_t degree(Vertex v) const { return offsets_[v + 1] - offsets_[v]; }
 
+  /// Weight facts over all arcs, computed once at build (an undirected
+  /// snapshot observes each edge twice — the integral/max facts are
+  /// unaffected and total_weight is merely a conservative doubling for the
+  /// exact_sums() guard).
+  const WeightProfile& weights() const { return profile_; }
+
  private:
   template <class NeighborFn>
   void build(std::size_t n, NeighborFn&& neighbors) {
@@ -69,11 +98,15 @@ class Csr {
     offsets_[n] = static_cast<std::uint32_t>(total);
     arcs_.reserve(total);
     for (Vertex v = 0; v < n; ++v)
-      for (const Arc& a : neighbors(v)) arcs_.push_back({a.to, a.edge, a.w});
+      for (const Arc& a : neighbors(v)) {
+        arcs_.push_back({a.to, a.edge, a.w});
+        profile_.observe(a.w);
+      }
   }
 
   std::vector<std::uint32_t> offsets_;  ///< n + 1 entries; arcs of v are [offsets_[v], offsets_[v+1])
   std::vector<CsrArc> arcs_;
+  WeightProfile profile_;
 };
 
 }  // namespace ftspan

@@ -1,0 +1,59 @@
+// Engine selection for the shortest-path engine (graph/sp_engine.hpp).
+//
+// The engine owns two interchangeable priority structures: the 4-ary heap
+// (works on any weights) and a Dial-style bucket queue (integer weights
+// only, O(1) push/pop — the classic win over comparison heaps for bounded
+// integer distances). Callers express a *policy*; the concrete queue is
+// picked per graph from its hoisted weight profile (see WeightProfile in
+// graph/csr.hpp), so `auto` costs one branch per run, not a per-run scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "graph/types.hpp"
+
+namespace ftspan {
+
+/// The concrete priority structure a run uses.
+enum class SpQueue : std::uint8_t { kHeap, kBucket };
+
+/// What the caller asked for. kAuto resolves to the bucket queue exactly
+/// when the graph's weights are non-negative integers no larger than
+/// kMaxBucketWeight; kBucket is a *request*, downgraded to the heap on
+/// fractional weights (a label-setting bucket queue is incorrect there), so
+/// every policy is safe on every graph.
+enum class SpEnginePolicy : std::uint8_t { kAuto, kHeap, kBucket };
+
+/// Largest integer arc weight the bucket queue accepts: the circular bucket
+/// array has max_weight + 1 slots and a pop scans forward one key at a time
+/// (Dial's O(m + D)), so huge weights would trade heap log-factors for a
+/// worse linear scan. 4096 covers every integer-weight workload in the
+/// registry with a bucket array that still fits in L1/L2.
+inline constexpr Weight kMaxBucketWeight = 4096;
+
+inline SpQueue select_sp_queue(SpEnginePolicy policy, bool weights_integral,
+                               Weight max_weight) {
+  if (policy == SpEnginePolicy::kHeap) return SpQueue::kHeap;
+  return weights_integral && max_weight <= kMaxBucketWeight
+             ? SpQueue::kBucket
+             : SpQueue::kHeap;
+}
+
+inline const char* to_string(SpEnginePolicy p) {
+  switch (p) {
+    case SpEnginePolicy::kHeap: return "heap";
+    case SpEnginePolicy::kBucket: return "bucket";
+    default: return "auto";
+  }
+}
+
+inline std::optional<SpEnginePolicy> parse_engine_policy(std::string_view s) {
+  if (s == "auto") return SpEnginePolicy::kAuto;
+  if (s == "heap") return SpEnginePolicy::kHeap;
+  if (s == "bucket") return SpEnginePolicy::kBucket;
+  return std::nullopt;
+}
+
+}  // namespace ftspan

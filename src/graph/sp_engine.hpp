@@ -1,14 +1,30 @@
-// DijkstraEngine — the one Dijkstra implementation in this repository.
+// DijkstraEngine — the one shortest-path implementation in this repository.
 //
 // Every shortest-path computation in src/ (greedy spanner, Thorup–Zwick,
 // distance oracle, edge-fault checks, the StretchOracle, and the public
 // dijkstra()/pair_distance() wrappers) runs through run_visit() below. The
 // engine is a *pooled workspace*: it owns epoch-stamped dist/parent/via
-// arrays, a reusable 4-ary heap, and the settle-order log, so that after the
-// first run at a given graph size a run performs zero heap allocations —
-// invalidation of the previous run's state is an O(1) epoch bump, not an
-// O(n) infinity-fill (the trick that bought 17.6x on the validation side in
-// validate/scratch.hpp, now shared by the construction side too).
+// arrays, a reusable priority structure, and the settle-order log, so that
+// after the first run at a given graph size a run performs zero heap
+// allocations — invalidation of the previous run's state is an O(1) epoch
+// bump, not an O(n) infinity-fill (the trick that bought 17.6x on the
+// validation side in validate/scratch.hpp, now shared by the construction
+// side too).
+//
+// Two interchangeable priority structures sit behind the same loop
+// (selected with set_queue; see graph/engine_policy.hpp for the policy):
+//
+//   HeapQueue    a 4-ary min-heap ordered by (distance, push sequence) —
+//                the push-sequence tie-break makes equal-distance pops FIFO,
+//                i.e. *stable*, which pins the settle order to something a
+//                bucket queue can reproduce exactly.
+//   BucketQueue  Dial's algorithm: max_weight + 1 circular buckets indexed
+//                by distance mod width, FIFO within a bucket, O(1) push and
+//                amortized O(1) pop. Integer weights only (a label-setting
+//                bucket queue is incorrect on fractional keys); on integer
+//                weights it pops in exactly the stable heap's (distance,
+//                push sequence) order, so distances, parents, vias, and the
+//                settle order are bit-identical between the two structures.
 //
 // Usage pattern: one engine per thread, reused across runs. Engines are not
 // thread-safe; never share one across concurrent callers.
@@ -26,11 +42,13 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/engine_policy.hpp"
 #include "graph/graph.hpp"
 #include "graph/vertex_set.hpp"
 
@@ -56,6 +74,18 @@ class DijkstraEngine {
   /// demand — but calling it up front makes later runs allocation-free even
   /// on the very first search.
   void reserve(std::size_t n, std::size_t heap_hint);
+
+  /// Selects the priority structure for subsequent runs. For kBucket,
+  /// max_weight is the largest integer arc weight any run will relax (the
+  /// bucket array gets max_weight + 1 slots); the caller is responsible for
+  /// only routing integer-weight graphs here — use select_sp_queue with the
+  /// graph's WeightProfile. Defaults to the heap.
+  void set_queue(SpQueue q, Weight max_weight = 1) {
+    queue_ = q;
+    if (q == SpQueue::kBucket)
+      bucket_.configure(static_cast<std::size_t>(max_weight) + 1);
+  }
+  SpQueue queue() const { return queue_; }
 
   /// Single-source run; see the header comment for bound/targets semantics.
   /// G is Graph, Digraph, or Csr. Drop-in replacement for the retired
@@ -138,15 +168,248 @@ class DijkstraEngine {
 
   /// The single Dijkstra implementation. VisitArcs is called as
   /// visit(v, relax) and must invoke relax(to, w, edge) once per out-arc of
-  /// v; every public entry point above is a thin wrapper around this.
+  /// v; every public entry point above is a thin wrapper around this. The
+  /// body is instantiated once per priority structure and dispatched on the
+  /// configured queue.
   template <class VisitArcs>
   void run_visit(std::size_t n, std::span<const Vertex> sources,
                  const VertexSet* faults, Weight bound,
                  std::span<const Vertex> targets, const Weight* prune_at,
                  VisitArcs&& visit) {
+    if (queue_ == SpQueue::kBucket)
+      run_visit_q(bucket_, n, sources, faults, bound, targets, prune_at,
+                  visit);
+    else
+      run_visit_q(heap_, n, sources, faults, bound, targets, prune_at, visit);
+  }
+
+  /// Exact bounded s-t distance by *bidirectional* search: two cooperating
+  /// half-searches (one per engine) expand alternately — cheaper frontier
+  /// first — and stop as soon as the best meeting path is provably optimal
+  /// (topF + topB >= mu) or provably longer than `bound`. Explores two
+  /// radius-bound/2 balls instead of one radius-bound ball, which is the
+  /// asymptotic win on expander-like graphs. Floating-point caveat: a path
+  /// is summed in two halves that meet in the middle, so the returned value
+  /// can differ from a forward-accumulating run() by accumulated rounding
+  /// (~hops * eps, relative); callers whose *decision* compares the result
+  /// against a threshold must treat a window around that threshold as
+  /// undecided and re-query run() — see GreedyWorkspace::bounded_pair.
+  /// Undirected adjacency only: `visit` serves both directions. Both engines
+  /// must be configured with the same queue kind (they are dispatched on
+  /// fwd's).
+  template <class VisitArcs>
+  static Weight bidirectional_bounded_pair(DijkstraEngine& fwd,
+                                           DijkstraEngine& bwd, std::size_t n,
+                                           Vertex s, Vertex t,
+                                           const VertexSet* faults,
+                                           Weight bound, VisitArcs&& visit) {
+    if (fwd.queue_ == SpQueue::kBucket)
+      return bidirectional_impl(fwd.bucket_, bwd.bucket_, fwd, bwd, n, s, t,
+                                faults, bound, visit);
+    return bidirectional_impl(fwd.heap_, bwd.heap_, fwd, bwd, n, s, t, faults,
+                              bound, visit);
+  }
+
+  // --- epoch plumbing (exposed for the rollover test) ----------------------
+
+  std::uint32_t debug_epoch() const { return epoch_; }
+  /// Test hook: jump the epoch counter (e.g. to just below the 32-bit wrap)
+  /// so the rollover path is exercisable without 2^32 runs.
+  void debug_set_epoch(std::uint32_t e) { epoch_ = e; }
+
+ private:
+  /// A queued (tentative distance, vertex) entry — what pop() hands back.
+  struct QueueItem {
+    Weight d;
+    Vertex v;
+  };
+
+  // 4-ary min-heap: shallower than a binary heap (fewer cache-missing levels
+  // per sift) and branch-friendly on the 4-child min scan. Items carry a
+  // per-run push sequence number and order lexicographically by
+  // (d, seq) — seq values are unique, so the order is total and pops of
+  // equal-distance entries come out in push (FIFO) order, exactly matching
+  // the BucketQueue below. Distances are stored as their raw IEEE-754 bits:
+  // for the non-negative finite-or-infinity values Dijkstra produces, the
+  // bit patterns order identically to the doubles, and integer compares let
+  // the compiler fuse the (key, seq) test without double-comparison
+  // semantics in the way — ties are *the* common case on unit-weight graphs,
+  // so the tie branch is hot.
+  class HeapQueue {
+   public:
+    void clear() {
+      items_.clear();
+      seq_ = 0;
+    }
+    bool empty() const { return items_.empty(); }
+    std::size_t size() const { return items_.size(); }
+    Weight front_d() const { return std::bit_cast<Weight>(items_.front().key); }
+    void reserve(std::size_t cap) { items_.reserve(cap); }
+
+    void push(Weight d, Vertex v) {
+      items_.push_back({std::bit_cast<std::uint64_t>(d), v, seq_++});
+      std::size_t i = items_.size() - 1;
+      while (i > 0) {
+        const std::size_t p = (i - 1) >> 2;
+        if (!less(items_[i], items_[p])) break;
+        std::swap(items_[p], items_[i]);
+        i = p;
+      }
+    }
+
+    QueueItem pop() {
+      const Item top = items_.front();
+      const Item last = items_.back();
+      items_.pop_back();
+      if (!items_.empty()) {
+        std::size_t i = 0;
+        const std::size_t n = items_.size();
+        for (;;) {
+          const std::size_t first = (i << 2) + 1;
+          if (first >= n) break;
+          std::size_t best = first;
+          const std::size_t end = std::min(first + 4, n);
+          for (std::size_t c = first + 1; c < end; ++c)
+            if (less(items_[c], items_[best])) best = c;
+          if (!less(items_[best], last)) break;
+          items_[i] = items_[best];
+          i = best;
+        }
+        items_[i] = last;
+      }
+      return {std::bit_cast<Weight>(top.key), top.v};
+    }
+
+   private:
+    struct Item {
+      std::uint64_t key;  ///< distance as raw bits (order-preserving for >= 0)
+      Vertex v;
+      std::uint32_t seq;
+    };  // 16 bytes: the seq fills what was previously padding
+
+    static bool less(const Item& a, const Item& b) {
+      return a.key < b.key || (a.key == b.key && a.seq < b.seq);
+    }
+
+    std::vector<Item> items_;
+    std::uint32_t seq_ = 0;
+  };
+
+  // Dial's bucket queue: width = max_weight + 1 circular buckets, bucket
+  // index = integer distance mod width. Dijkstra's frontier is monotone and
+  // spans at most max_weight + 1 distinct keys, so the bucket holding the
+  // current key is always unambiguous. Entries live in one flat slab with an
+  // intrusive per-bucket FIFO list (head/tail indices), so the whole
+  // structure is three flat arrays: the slab never re-allocates once
+  // reserve()d to the push bound (2m + #sources — the same bound the heap
+  // uses), unlike a vector-per-bucket layout whose per-bucket capacities
+  // would keep growing run over run. Appends during a bucket's drain land
+  // behind the list head and are popped in the same pass, which preserves
+  // global FIFO-within-key — the order the stable heap reproduces.
+  class BucketQueue {
+   public:
+    /// Sizes the circular array for keys spanning `width` = max_weight + 1.
+    /// Only grows; leftover entries from an abandoned run are dropped by the
+    /// next clear().
+    void configure(std::size_t width) {
+      if (heads_.size() < width) {
+        heads_.resize(width, kNil);
+        tails_.resize(width, kNil);
+      }
+      width_ = width;
+    }
+
+    /// Pre-sizes the slab for a run pushing at most cap entries (the dirty
+    /// list is bounded by the push count too).
+    void reserve(std::size_t cap) {
+      slab_.reserve(cap);
+      dirty_.reserve(cap);
+    }
+
+    void clear() {
+      for (const std::uint32_t b : dirty_) {
+        heads_[b] = kNil;
+        tails_[b] = kNil;
+      }
+      dirty_.clear();
+      slab_.clear();
+      cur_ = 0;
+      cur_b_ = 0;
+      live_ = 0;
+    }
+    bool empty() const { return live_ == 0; }
+
+    void push(Weight d, Vertex v) {
+      // Monotonicity gives key - cur_ < width_, so the bucket index is the
+      // cursor's bucket plus that offset with one conditional wrap — no
+      // hardware division (a div per push would dominate these short
+      // searches).
+      const std::uint64_t key = static_cast<std::uint64_t>(d);
+      std::size_t b = cur_b_ + static_cast<std::size_t>(key - cur_);
+      if (b >= width_) b -= width_;
+      const std::uint32_t i = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back({d, v, kNil});
+      if (heads_[b] == kNil) {
+        dirty_.push_back(static_cast<std::uint32_t>(b));
+        heads_[b] = i;
+      } else {
+        slab_[tails_[b]].next = i;
+      }
+      tails_[b] = i;
+      ++live_;
+    }
+
+    /// Minimum queued distance. Precondition: !empty().
+    Weight front_d() { return slab_[heads_[advance()]].d; }
+
+    QueueItem pop() {
+      const std::size_t b = advance();
+      const Slot& s = slab_[heads_[b]];
+      heads_[b] = s.next;
+      --live_;
+      return {s.d, s.v};
+    }
+
+   private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Slot {
+      Weight d;
+      Vertex v;
+      std::uint32_t next;  ///< next slab index in this bucket's FIFO, or kNil
+    };  // 16 bytes, no padding
+
+    /// Index of the bucket holding the current minimum key. An empty bucket
+    /// at the cursor means no live key equals it (live keys sit in
+    /// [cur_, cur_ + width_ - 1], so indices are unambiguous), and the slot
+    /// it vacates is exactly the one key cur_ + width_ will need.
+    /// Precondition: !empty().
+    std::size_t advance() {
+      while (heads_[cur_b_] == kNil) {
+        ++cur_;
+        if (++cur_b_ == width_) cur_b_ = 0;
+      }
+      return cur_b_;
+    }
+
+    std::vector<Slot> slab_;            ///< all entries, in push order
+    std::vector<std::uint32_t> heads_;  ///< per-bucket FIFO head slab index
+    std::vector<std::uint32_t> tails_;  ///< per-bucket FIFO tail slab index
+    std::vector<std::uint32_t> dirty_;  ///< buckets made non-empty since clear
+    std::size_t width_ = 1;
+    std::uint64_t cur_ = 0;   ///< absolute key cursor (monotone within a run)
+    std::size_t cur_b_ = 0;   ///< cur_ % width_, maintained incrementally
+    std::size_t live_ = 0;
+  };
+
+  template <class Q, class VisitArcs>
+  void run_visit_q(Q& q, std::size_t n, std::span<const Vertex> sources,
+                   const VertexSet* faults, Weight bound,
+                   std::span<const Vertex> targets, const Weight* prune_at,
+                   VisitArcs&& visit) {
     ensure(n);
     next_epoch();
-    heap_.clear();
+    q.clear();
     order_.clear();
 
     std::size_t remaining = 0;
@@ -163,11 +426,11 @@ class DijkstraEngine {
       dist_[s] = 0;
       parent_[s] = kInvalidVertex;
       via_[s] = kInvalidEdge;
-      heap_push({0, s});
+      q.push(0, s);
     }
 
-    while (!heap_.empty()) {
-      const HeapItem item = heap_pop();
+    while (!q.empty()) {
+      const QueueItem item = q.pop();
       const Vertex v = item.v;
       if (done_[v] == epoch_) continue;  // stale duplicate queue entry
       done_[v] = epoch_;
@@ -184,52 +447,40 @@ class DijkstraEngine {
           dist_[to] = nd;
           parent_[to] = v;
           via_[to] = edge;
-          heap_push({nd, to});
+          q.push(nd, to);
         }
       });
     }
   }
 
-  /// Exact bounded s-t distance by *bidirectional* search: two cooperating
-  /// half-searches (one per engine) expand alternately — cheaper frontier
-  /// first — and stop as soon as the best meeting path is provably optimal
-  /// (topF + topB >= mu) or provably longer than `bound`. Explores two
-  /// radius-bound/2 balls instead of one radius-bound ball, which is the
-  /// asymptotic win on expander-like graphs. Floating-point caveat: a path
-  /// is summed in two halves that meet in the middle, so the returned value
-  /// can differ from a forward-accumulating run() by accumulated rounding
-  /// (~hops * eps, relative); callers whose *decision* compares the result
-  /// against a threshold must treat a window around that threshold as
-  /// undecided and re-query run() — see GreedyWorkspace::bounded_pair.
-  /// Undirected adjacency only: `visit` serves both directions.
-  template <class VisitArcs>
-  static Weight bidirectional_bounded_pair(DijkstraEngine& fwd,
-                                           DijkstraEngine& bwd, std::size_t n,
-                                           Vertex s, Vertex t,
-                                           const VertexSet* faults,
-                                           Weight bound, VisitArcs&& visit) {
+  template <class Q, class VisitArcs>
+  static Weight bidirectional_impl(Q& qf, Q& qb, DijkstraEngine& fwd,
+                                   DijkstraEngine& bwd, std::size_t n,
+                                   Vertex s, Vertex t, const VertexSet* faults,
+                                   Weight bound, VisitArcs&& visit) {
     if (s == t) return 0;
     fwd.ensure(n);
     bwd.ensure(n);
     fwd.next_epoch();
     bwd.next_epoch();
-    fwd.heap_.clear();
-    bwd.heap_.clear();
+    qf.clear();
+    qb.clear();
     fwd.order_.clear();
     bwd.order_.clear();
     if (faults != nullptr && (faults->contains(s) || faults->contains(t)))
       return kInfiniteWeight;
 
-    fwd.seed_source(s);
-    bwd.seed_source(t);
+    fwd.seed_source(s, qf);
+    bwd.seed_source(t, qb);
     Weight mu = kInfiniteWeight;
 
     // Settles one vertex of `self`, relaxing its arcs and improving the best
     // meeting length mu against `other`'s stamped (tentative or final)
     // distances — every such combination is the length of a real s-t path.
-    const auto expand = [&](DijkstraEngine& self, DijkstraEngine& other) {
-      while (!self.heap_.empty()) {
-        const HeapItem item = self.heap_pop();
+    const auto expand = [&](DijkstraEngine& self, Q& q,
+                            DijkstraEngine& other) {
+      while (!q.empty()) {
+        const QueueItem item = q.pop();
         const Vertex v = item.v;
         if (self.done_[v] == self.epoch_) continue;  // stale duplicate
         self.done_[v] = self.epoch_;
@@ -245,7 +496,7 @@ class DijkstraEngine {
             self.dist_[to] = nd;
             self.parent_[to] = v;
             self.via_[to] = edge;
-            self.heap_push({nd, to});
+            q.push(nd, to);
             if (other.stamp_[to] == other.epoch_)
               mu = std::min(mu, nd + other.dist_[to]);
           }
@@ -255,17 +506,15 @@ class DijkstraEngine {
     };
 
     for (;;) {
-      const Weight top_f =
-          fwd.heap_.empty() ? kInfiniteWeight : fwd.heap_.front().d;
-      const Weight top_b =
-          bwd.heap_.empty() ? kInfiniteWeight : bwd.heap_.front().d;
+      const Weight top_f = qf.empty() ? kInfiniteWeight : qf.front_d();
+      const Weight top_b = qb.empty() ? kInfiniteWeight : qb.front_d();
       if (top_f >= kInfiniteWeight && top_b >= kInfiniteWeight) break;
       const Weight reach = top_f + top_b;
       if (reach >= mu || reach > bound) break;
       if (top_f <= top_b)
-        expand(fwd, bwd);
+        expand(fwd, qf, bwd);
       else
-        expand(bwd, fwd);
+        expand(bwd, qb, fwd);
     }
     // If d(s,t) <= bound then mu == d(s,t) exactly up to the rounding noted
     // above (classical bidirectional termination argument); otherwise mu is
@@ -274,61 +523,13 @@ class DijkstraEngine {
     return mu;
   }
 
-  // --- epoch plumbing (exposed for the rollover test) ----------------------
-
-  std::uint32_t debug_epoch() const { return epoch_; }
-  /// Test hook: jump the epoch counter (e.g. to just below the 32-bit wrap)
-  /// so the rollover path is exercisable without 2^32 runs.
-  void debug_set_epoch(std::uint32_t e) { epoch_ = e; }
-
- private:
-  struct HeapItem {
-    Weight d;
-    Vertex v;
-  };
-
-  void seed_source(Vertex s) {
+  template <class Q>
+  void seed_source(Vertex s, Q& q) {
     stamp_[s] = epoch_;
     dist_[s] = 0;
     parent_[s] = kInvalidVertex;
     via_[s] = kInvalidEdge;
-    heap_push({0, s});
-  }
-
-  // 4-ary min-heap: shallower than a binary heap (fewer cache-missing levels
-  // per sift) and branch-friendly on the 4-child min scan.
-  void heap_push(HeapItem item) {
-    heap_.push_back(item);
-    std::size_t i = heap_.size() - 1;
-    while (i > 0) {
-      const std::size_t p = (i - 1) >> 2;
-      if (heap_[p].d <= heap_[i].d) break;
-      std::swap(heap_[p], heap_[i]);
-      i = p;
-    }
-  }
-
-  HeapItem heap_pop() {
-    const HeapItem top = heap_.front();
-    const HeapItem last = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) {
-      std::size_t i = 0;
-      const std::size_t n = heap_.size();
-      for (;;) {
-        const std::size_t first = (i << 2) + 1;
-        if (first >= n) break;
-        std::size_t best = first;
-        const std::size_t end = std::min(first + 4, n);
-        for (std::size_t c = first + 1; c < end; ++c)
-          if (heap_[c].d < heap_[best].d) best = c;
-        if (heap_[best].d >= last.d) break;
-        heap_[i] = heap_[best];
-        i = best;
-      }
-      heap_[i] = last;
-    }
-    return top;
+    q.push(0, s);
   }
 
   void ensure(std::size_t n);
@@ -341,7 +542,9 @@ class DijkstraEngine {
   std::vector<Weight> dist_;
   std::vector<Vertex> parent_;
   std::vector<EdgeId> via_;
-  std::vector<HeapItem> heap_;
+  HeapQueue heap_;
+  BucketQueue bucket_;
+  SpQueue queue_ = SpQueue::kHeap;
   std::vector<Vertex> order_;
 
   template <class G>

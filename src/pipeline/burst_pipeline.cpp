@@ -1,0 +1,101 @@
+#include "pipeline/burst_pipeline.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/spsc_ring.hpp"
+
+namespace ftspan {
+
+namespace {
+
+/// A half-open index range; the unit that travels through a worker's ring.
+struct Burst {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Everything one worker owns. Rings are per-worker (SPSC: coordinator
+/// produces, the worker consumes); `stop` flips only after the coordinator
+/// has pushed that worker's last burst.
+struct WorkerLane {
+  explicit WorkerLane(std::size_t ring_capacity) : ring(ring_capacity) {}
+  SpscRing<Burst> ring;
+  std::atomic<bool> stop{false};
+  std::exception_ptr error;  ///< written by the worker, read after join
+};
+
+}  // namespace
+
+void run_bursts(std::size_t count, const BurstOptions& options,
+                const BurstTaskFactory& factory) {
+  if (count == 0) return;
+  const std::size_t workers = options.workers == 0 ? 1 : options.workers;
+  const std::size_t burst = options.burst == 0 ? kDefaultBurst : options.burst;
+
+  if (workers == 1) {
+    const BurstTask task = factory(0);
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::vector<std::unique_ptr<WorkerLane>> lanes;
+  lanes.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    lanes.push_back(std::make_unique<WorkerLane>(options.ring_capacity));
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    WorkerLane* lane = lanes[w].get();
+    threads.emplace_back([lane, &factory, w] {
+      BurstTask task;
+      try {
+        task = factory(w);
+      } catch (...) {
+        lane->error = std::current_exception();
+      }
+      Burst b;
+      for (;;) {
+        if (lane->ring.try_pop(b)) {
+          // After a failure keep draining without running: the coordinator
+          // may be spinning on this ring being full, so the feed must keep
+          // moving even though its results are abandoned.
+          if (lane->error == nullptr) {
+            try {
+              for (std::size_t i = b.begin; i < b.end; ++i) task(i);
+            } catch (...) {
+              lane->error = std::current_exception();
+            }
+          }
+          continue;
+        }
+        if (lane->stop.load(std::memory_order_acquire) && lane->ring.empty())
+          break;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Round-robin distribution: burst b -> worker b % workers, in order. With
+  // equal-cost bursts this is exactly the static block-cyclic schedule; with
+  // skewed costs the ring depth (bursts in flight) absorbs the imbalance.
+  std::size_t next_worker = 0;
+  for (std::size_t begin = 0; begin < count; begin += burst) {
+    const Burst b{begin, std::min(begin + burst, count)};
+    WorkerLane& lane = *lanes[next_worker];
+    while (!lane.ring.try_push(b)) std::this_thread::yield();
+    next_worker = next_worker + 1 == workers ? 0 : next_worker + 1;
+  }
+  for (auto& lane : lanes) lane->stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  // First error by worker index: deterministic, like the thread pool.
+  for (auto& lane : lanes)
+    if (lane->error != nullptr) std::rethrow_exception(lane->error);
+}
+
+}  // namespace ftspan

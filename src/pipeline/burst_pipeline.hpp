@@ -1,0 +1,56 @@
+// run_bursts — the dataplane-batched fan-out driver.
+//
+// The repo's two hot fan-outs (conversion sampling iterations, StretchOracle
+// fault-set checks) are index loops 0..count whose bodies run on per-worker
+// pooled state. The previous dispatcher handed indices to a generic thread
+// pool one atomic fetch_add at a time: one shared-cache-line bounce per
+// task, with tasks that can be a few microseconds each. This driver applies
+// the dataplane shape instead (per-core workers, SPSC rings, burst
+// processing — the ndn-dpdk idiom):
+//
+//   - the coordinator slices 0..count into fixed-size bursts and round-robins
+//     them into one SpscRing per worker (single producer: the coordinator;
+//     single consumer: the worker — no shared ring, no CAS anywhere);
+//   - each worker drains its own ring and runs whole bursts against its
+//     pinned state (engines, scratch graphs), so the shared-line traffic is
+//     one acquire/release pair per burst instead of per task;
+//   - distribution is deterministic (burst b → worker b % workers), which
+//     keeps "which worker ran which index" reproducible, though callers must
+//     not depend on it — output determinism comes from index-keyed results,
+//     as before.
+//
+// Exceptions: a worker that throws records the first exception and discards
+// the rest of its feed (it keeps draining so the coordinator never blocks on
+// a full ring); the coordinator rethrows the lowest-indexed worker's
+// exception after joining, matching the thread pool's propagation contract.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ftspan {
+
+/// Default indices per burst. Large enough to amortize the ring hand-off,
+/// small enough that a burst of even the slowest tasks (a greedy run per
+/// index) keeps all workers fed for typical iteration counts.
+inline constexpr std::size_t kDefaultBurst = 16;
+
+struct BurstOptions {
+  std::size_t workers = 1;  ///< consumer threads; 1 = inline, no threads
+  std::size_t burst = kDefaultBurst;  ///< indices per burst; 0 = default
+  std::size_t ring_capacity = 64;     ///< bursts in flight per worker
+};
+
+/// Runs one index of the fan-out. Invoked on the owning worker's thread.
+using BurstTask = std::function<void(std::size_t)>;
+
+/// Creates the task for worker `w`; called on worker w's own thread, so
+/// per-worker state (engines, scratch) is constructed where it runs.
+using BurstTaskFactory = std::function<BurstTask(std::size_t worker)>;
+
+/// Runs task(i) for every i in [0, count) across options.workers workers.
+/// With workers == 1 this is a plain inline loop (no threads, no rings).
+void run_bursts(std::size_t count, const BurstOptions& options,
+                const BurstTaskFactory& factory);
+
+}  // namespace ftspan

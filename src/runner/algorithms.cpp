@@ -49,12 +49,15 @@ BoundAlgorithm bind_ft_vertex(const Graph& g) {
     opt.iteration_constant = p.c;
     if (p.iterations > 0) opt.iterations = p.iterations;
     opt.threads = p.threads;
+    opt.engine = p.engine;
+    opt.batch = p.batch;
     // Hand each worker its own pooled workspace; `handed` restarts at 0 for
     // every conversion call (bound instances are sequential-use).
     auto handed = std::make_shared<std::size_t>(0);
     const double k = p.k;
-    const BaseSpannerFactory factory = [ctx, pool, mu, handed,
-                                        k]() -> BoundBaseSpanner {
+    const SpEnginePolicy engine = p.engine;
+    const BaseSpannerFactory factory = [ctx, pool, mu, handed, k,
+                                        engine]() -> BoundBaseSpanner {
       std::shared_ptr<GreedyWorkspace> ws;
       {
         std::lock_guard<std::mutex> lock(*mu);
@@ -63,6 +66,7 @@ BoundAlgorithm bind_ft_vertex(const Graph& g) {
         if (!(*pool)[i]) (*pool)[i] = std::make_shared<GreedyWorkspace>();
         ws = (*pool)[i];
       }
+      ws->set_engine(engine);
       return [ctx, ws, k](const VertexSet* mask,
                           std::uint64_t) -> std::span<const EdgeId> {
         return ws->run(*ctx, k, mask);
@@ -89,6 +93,7 @@ Registry<SpannerAlgorithm> build_registry() {
              auto ctx = std::make_shared<GreedyContext>(g);
              auto ws = std::make_shared<GreedyWorkspace>();
              return [ctx, ws](const AlgoParams& p) {
+               ws->set_engine(p.engine);
                const auto kept = ws->run(*ctx, p.k, nullptr);
                AlgoResult out;
                out.edges.assign(kept.begin(), kept.end());
@@ -145,6 +150,8 @@ Registry<SpannerAlgorithm> build_registry() {
                opt.iteration_constant = p.c;
                if (p.iterations > 0) opt.iterations = p.iterations;
                opt.threads = p.threads;
+               opt.engine = p.engine;
+               opt.batch = p.batch;
                EdgeFtResult res =
                    ft_edge_greedy_spanner(*gp, p.k, p.r, p.seed, opt);
                AlgoResult out;

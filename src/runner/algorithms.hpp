@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/engine_policy.hpp"
 #include "graph/graph.hpp"
 #include "runner/registry.hpp"
 
@@ -36,6 +37,8 @@ struct AlgoParams {
   std::size_t iterations = 0;  ///< hard iteration override; 0 = formula
   std::size_t threads = 1;     ///< iteration fan-out width (bit-identical)
   std::uint64_t seed = 1;      ///< RNG seed (ignored by deterministic algos)
+  SpEnginePolicy engine = SpEnginePolicy::kAuto;  ///< SP queue policy
+  std::size_t batch = 0;       ///< pipeline burst size; 0 = default
 };
 
 struct AlgoResult {

@@ -5,6 +5,7 @@
 
 #include "ftspanner/edge_faults.hpp"
 #include "runner/workloads.hpp"
+#include "util/mem.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "validate/stretch_oracle.hpp"
@@ -50,6 +51,9 @@ void validate_cell(const ScenarioSpec& spec, const Graph& g, const Graph& h,
   } else {
     FtCheckOptions opt;
     opt.threads = cell.threads;
+    opt.engine =
+        parse_engine_policy(spec.engine).value_or(SpEnginePolicy::kAuto);
+    opt.batch = spec.batch;
     const StretchOracle oracle(g, h, cell.k);
     const FtCheckResult res =
         exact ? oracle.check_exact(cell.r, opt)
@@ -110,6 +114,12 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
             ap.iterations = spec.iters;
             ap.threads = threads;
             ap.seed = spec.seed;
+            // parse() validated the engine string, so the parse here cannot
+            // fail (specs constructed programmatically go through the same
+            // vocabulary).
+            ap.engine = parse_engine_policy(spec.engine)
+                            .value_or(SpEnginePolicy::kAuto);
+            ap.batch = spec.batch;
 
             // Metrics come from the first repetition; later repetitions
             // redo identical work purely to take the best wall clock.
@@ -128,6 +138,7 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
 
             const Graph h = g.edge_subgraph(result.edges);
             validate_cell(spec, g, h, algo.model, cell);
+            cell.peak_rss = peak_rss_bytes();
             report.cells.push_back(std::move(cell));
           }
     }
@@ -271,6 +282,9 @@ void json_cell(const ScenarioCell& c, bool timings, std::ostream& os,
         json_number(c.fault_sets / c.val_seconds, os);
       }
     }
+    // Machine-dependent like the clocks, so it lives (and dies) with them:
+    // timings=off keeps the JSON bit-identical across hosts.
+    os << ",\n" << in << "\"peak_rss_bytes\": " << c.peak_rss;
   }
   os << "\n" << indent << "}";
 }

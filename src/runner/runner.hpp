@@ -50,10 +50,14 @@ struct ScenarioCell {
   Vertex witness_u = kInvalidVertex;
   Vertex witness_v = kInvalidVertex;
 
-  // Wall clock (never part of the determinism contract).
+  // Wall clock and machine-dependent metrics (never part of the determinism
+  // contract; `timings=off` removes them from the emitters).
   std::size_t reps = 1;
   double seconds_best = 0;  ///< construction, best of `reps`
   double val_seconds = 0;   ///< validation, single run
+  /// Process-wide peak RSS sampled after the cell ran (util/mem.hpp):
+  /// an upper bound on the cell's footprint, monotone across cells.
+  std::size_t peak_rss = 0;
 
   /// Value of a named stat, or `dflt` when the algorithm did not emit it.
   double stat(const std::string& name, double dflt = 0) const;

@@ -1,5 +1,8 @@
 #include "runner/scenario.hpp"
 
+#include "graph/engine_policy.hpp"
+
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
@@ -74,8 +77,13 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
   if (value.empty() || value[0] == '-' || value[0] == '+')
     bad_value(key, value);
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-  if (end != value.c_str() + value.size()) bad_value(key, value);
+  // Out-of-range input saturates to ULLONG_MAX with errno = ERANGE instead
+  // of failing the end-pointer check; report it as a bad value for the key
+  // rather than letting a wrapped/saturated count through.
+  if (errno == ERANGE || end != value.c_str() + value.size())
+    bad_value(key, value);
   return v;
 }
 
@@ -111,6 +119,10 @@ std::string ScenarioSpec::to_string() const {
   if (iters != 0) os << " iters=" << iters;
   os << " seed=" << seed;
   os << " threads=" << join_sizes(threads);
+  // Engine/batch only appear when non-default so historical spec strings
+  // stay byte-identical (to_string must round-trip through parse verbatim).
+  if (engine != "auto") os << " engine=" << engine;
+  if (batch != 0) os << " batch=" << batch;
   os << " reps=" << reps;
   os << " validate=" << validate;
   if (validate != "none") {
@@ -160,6 +172,11 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else if (key == "threads") {
       spec.threads = parse_size_list(key, value);
       if (spec.threads.empty()) bad_value(key, value);
+    } else if (key == "engine") {
+      if (!parse_engine_policy(value)) bad_value(key, value);
+      spec.engine = value;
+    } else if (key == "batch") {
+      spec.batch = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "reps") {
       spec.reps = static_cast<std::size_t>(parse_u64(key, value));
       if (spec.reps == 0) bad_value(key, value);
@@ -180,7 +197,8 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       throw std::invalid_argument(
           "scenario spec: unknown key '" + key +
           "'; valid keys: workload n p scale wseed algo k r c iters seed "
-          "threads reps validate trials adversarial vseed timings");
+          "threads engine batch reps validate trials adversarial vseed "
+          "timings");
     }
   }
   return spec;

@@ -38,6 +38,8 @@ struct ScenarioSpec {
   std::size_t iters = 0;               ///< iteration override; 0 = formula
   std::uint64_t seed = 1;              ///< algorithm RNG seed
   std::vector<std::size_t> threads = {1};  ///< fan-out width sweep
+  std::string engine = "auto";         ///< SP engine policy: auto | heap | bucket
+  std::size_t batch = 0;               ///< pipeline burst size; 0 = default
 
   // --- driver ---
   std::size_t reps = 1;  ///< timing repetitions; metrics use rep 0, time is best-of

@@ -19,7 +19,15 @@ GreedyContext::GreedyContext(const Graph& g) : graph(&g) {
   for (const EdgeId id : order) {
     const Edge& e = g.edge(id);
     sorted.push_back({e.u, e.v, e.w, id});
+    weights.observe(e.w);
   }
+}
+
+void GreedyWorkspace::configure_scratch(const WeightProfile& wp) {
+  exact_sums_ = wp.exact_sums();
+  const SpQueue q = select_sp_queue(policy_, wp.integral, wp.max_weight);
+  eng_.set_queue(q, wp.max_weight);
+  bwd_.set_queue(q, wp.max_weight);
 }
 
 void GreedyWorkspace::reserve(std::size_t n, std::size_t max_edges) {
@@ -36,18 +44,10 @@ void GreedyWorkspace::reset(std::size_t n) {
   for (const Vertex v : touched_) head_[v] = kNone;
   touched_.clear();
   pool_.clear();
-  weights_exact_ = true;
-  weight_total_ = 0;
   if (head_.size() < n) head_.resize(n, kNone);
 }
 
 void GreedyWorkspace::add_edge(Vertex u, Vertex v, Weight w) {
-  // Track whether every scratch weight is a non-negative integer and the
-  // total stays far below 2^53: then every path sum is exactly
-  // representable in any summation order, and bounded_pair can trust the
-  // bidirectional result bit-for-bit without its tie-window fallback.
-  weights_exact_ = weights_exact_ && w >= 0 && w == std::floor(w);
-  weight_total_ += w;
   // Slot indices are 32-bit with kNone reserved; refuse before they wrap
   // (same policy as the Graph/Csr 32-bit guards).
   if (pool_.size() + 2 > kNone)
@@ -91,8 +91,10 @@ Weight GreedyWorkspace::bounded_pair(Vertex s, Vertex t,
       visit);
   // All-integer weights (the common unweighted case): every path sum is
   // exact in any summation order, so `fast` already equals the historical
-  // forward sum bit-for-bit and no tie is ever ambiguous.
-  if (weights_exact_ && weight_total_ < 4.0e15) return fast;
+  // forward sum bit-for-bit and no tie is ever ambiguous. The flag comes
+  // from the graph's hoisted WeightProfile (configure_scratch) — computed
+  // once per graph instead of per added edge.
+  if (exact_sums_) return fast;
   if (fast > bound * (1 + kTieWindow) || fast < bound * (1 - kTieWindow))
     return fast;
 
@@ -110,6 +112,7 @@ std::span<const EdgeId> GreedyWorkspace::run(const GreedyContext& ctx,
   if (k < 1.0) throw std::invalid_argument("greedy_spanner: k must be >= 1");
   const Graph& g = *ctx.graph;
   reserve(g.num_vertices(), g.num_edges());
+  configure_scratch(ctx.weights);
   reset(g.num_vertices());
   kept_.clear();
   for (const GreedyContext::OrderedEdge& e : ctx.sorted) {

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/engine_policy.hpp"
 #include "graph/graph.hpp"
 #include "graph/sp_engine.hpp"
 
@@ -41,6 +42,7 @@ struct GreedyContext {
 
   const Graph* graph;
   std::vector<OrderedEdge> sorted;  ///< edges by non-decreasing weight
+  WeightProfile weights;            ///< hoisted weight facts (once per graph)
 };
 
 /// Per-thread workspace: never share one across concurrent callers.
@@ -74,6 +76,22 @@ class GreedyWorkspace {
   /// scratch edges, making even the first run allocation-free.
   void reserve(std::size_t n, std::size_t max_edges);
 
+  /// Engine policy for this workspace's searches; kAuto picks the bucket
+  /// queue on bounded-integer graphs. Takes effect at the next
+  /// configure_scratch (run() configures from its context automatically).
+  void set_engine(SpEnginePolicy policy) { policy_ = policy; }
+
+  /// Binds the workspace to a graph's hoisted weight profile: resolves the
+  /// engine policy against it and enables the exact-sums fast path when
+  /// every scratch path length is exactly representable. Scratch edges are
+  /// always a subset of the profiled graph's edges, so the profile is an
+  /// upper bound on anything add_edge will see. Callers driving the
+  /// lower-level reset/add_edge/bounded_pair interface directly must call
+  /// this once per graph; the default (unconfigured) state is the
+  /// conservative heap + tie-window-fallback path, which is correct on any
+  /// weights.
+  void configure_scratch(const WeightProfile& wp);
+
  private:
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
@@ -84,8 +102,8 @@ class GreedyWorkspace {
   };  // 16 bytes: weight first so the struct packs without padding
 
   DijkstraEngine eng_, bwd_;         ///< forward/exact engine + backward half
-  bool weights_exact_ = true;        ///< all scratch weights integral so far
-  Weight weight_total_ = 0;          ///< sum of scratch weights (overflow guard)
+  SpEnginePolicy policy_ = SpEnginePolicy::kAuto;
+  bool exact_sums_ = false;          ///< from the profile; gates the tie window
   std::vector<std::uint32_t> head_;  ///< per-vertex first slot, or kNone
   std::vector<HalfArc> pool_;        ///< two slots per added edge
   std::vector<Vertex> touched_;      ///< vertices whose head_ is live

@@ -1,0 +1,18 @@
+#include "util/mem.hpp"
+
+#include <sys/resource.h>
+
+namespace ftspan {
+
+std::size_t peak_rss_bytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes (BSD reports bytes; macOS bytes).
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+}
+
+}  // namespace ftspan

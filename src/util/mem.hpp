@@ -1,0 +1,15 @@
+// Process memory introspection for the scenario runner's metrics block.
+#pragma once
+
+#include <cstddef>
+
+namespace ftspan {
+
+/// Peak resident set size of the calling process in bytes, as reported by
+/// getrusage(RUSAGE_SELF). Monotone over the process lifetime — sampling it
+/// after a cell runs gives "the high-water mark so far", not a per-cell
+/// delta; consumers should treat it as an upper bound on the cell's RSS.
+/// Returns 0 on platforms where the query fails.
+std::size_t peak_rss_bytes();
+
+}  // namespace ftspan

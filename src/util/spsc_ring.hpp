@@ -1,0 +1,75 @@
+// SpscRing — a bounded lock-free single-producer single-consumer queue.
+//
+// The dataplane idiom (DPDK/ndn-dpdk rings): one cache-line-aligned atomic
+// index per side, acquire/release pairing only at the point of hand-off, and
+// a cached copy of the opposite index so the common-case push/pop touches a
+// single shared cache line only when the ring looks full/empty. Capacity is
+// rounded up to a power of two so position → slot is a mask, not a modulo.
+//
+// Contract: exactly one thread calls try_push, exactly one thread calls
+// try_pop. Indices are 64-bit and never wrap in practice (2^64 operations),
+// so position arithmetic needs no generation tags.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftspan {
+
+template <class T>
+class SpscRing {
+ public:
+  /// Ring with room for at least `capacity` elements (rounded up to a power
+  /// of two; minimum 1).
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False iff the ring is full.
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False iff the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side view; racy by nature (a concurrent push may not be
+  /// visible yet) but safe — use only for idle/drain heuristics.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  const std::size_t mask_;
+  /// Consumer cursor + the producer's cached view of it (refreshing the
+  /// cache is the only time the producer reads the consumer's line).
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::uint64_t cached_head_ = 0;   // producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t cached_tail_ = 0;   // consumer-owned
+};
+
+}  // namespace ftspan

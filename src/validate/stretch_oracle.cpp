@@ -1,15 +1,15 @@
 #include "validate/stretch_oracle.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <type_traits>
 
 #include "ftspanner/parallel.hpp"
-#include "util/thread_pool.hpp"
+#include "pipeline/burst_pipeline.hpp"
 
 namespace ftspan {
 
@@ -100,10 +100,22 @@ BasicStretchOracle<G>::BasicStretchOracle(const G& g, const G& h, double k)
 }
 
 template <class G>
-typename BasicStretchOracle<G>::Scratch BasicStretchOracle<G>::make_scratch()
-    const {
+typename BasicStretchOracle<G>::Scratch BasicStretchOracle<G>::make_scratch(
+    SpEnginePolicy policy) const {
   Scratch s;
   s.faults = VertexSet(g_->num_vertices());
+  // Resolve the queue per graph side: G and H can differ (H is a subgraph,
+  // but the snapshots carry their own hoisted profiles). Pre-size both
+  // engines to their graph's push bound so runs are allocation-free from the
+  // first fault set.
+  const WeightProfile& wg = cg_.weights();
+  const WeightProfile& wh = ch_.weights();
+  s.dg.set_queue(select_sp_queue(policy, wg.integral, wg.max_weight),
+                 wg.max_weight);
+  s.dh.set_queue(select_sp_queue(policy, wh.integral, wh.max_weight),
+                 wh.max_weight);
+  s.dg.reserve(g_->num_vertices(), cg_.num_arcs() + 1);
+  s.dh.reserve(h_->num_vertices(), ch_.num_arcs() + 1);
   return s;
 }
 
@@ -150,31 +162,35 @@ double BasicStretchOracle<G>::max_stretch(const VertexSet* faults) const {
 
 template <class G>
 template <class Eval, class Rebuild>
-FtCheckResult BasicStretchOracle<G>::run_indexed(std::size_t count,
-                                                 const Eval& eval,
-                                                 const Rebuild& rebuild,
-                                                 std::size_t threads) const {
+FtCheckResult BasicStretchOracle<G>::run_indexed(
+    std::size_t count, const Eval& eval, const Rebuild& rebuild,
+    const FtCheckOptions& options) const {
   FtCheckResult out;
   out.witness_faults = VertexSet(g_->num_vertices());
   out.fault_sets_checked = count;
   if (count == 0) return out;
 
   std::vector<Witness> witnesses(count);
-  const std::size_t workers = resolve_threads(threads, count);
+  const std::size_t workers = resolve_threads(options.threads, count);
   if (workers == 1) {
-    Scratch scratch = make_scratch();
+    Scratch scratch = make_scratch(options.engine);
     for (std::size_t i = 0; i < count; ++i) witnesses[i] = eval(i, scratch);
   } else {
-    std::atomic<std::size_t> next{0};
-    ThreadPool pool(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-      pool.submit([this, &witnesses, &next, &eval, count] {
-        Scratch scratch = make_scratch();
-        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-             i < count; i = next.fetch_add(1, std::memory_order_relaxed))
-          witnesses[i] = eval(i, scratch);
-      });
-    pool.wait_idle();
+    // Burst pipeline: fault-set indices travel to worker-pinned scratch in
+    // fixed-size bursts (pipeline/burst_pipeline.hpp) — one ring hand-off
+    // per burst instead of one shared-counter bounce per fault set.
+    // Witnesses land in index-keyed slots, so scheduling stays invisible.
+    BurstOptions bopt;
+    bopt.workers = workers;
+    bopt.burst = options.batch;
+    const SpEnginePolicy engine = options.engine;
+    run_bursts(count, bopt,
+               [this, &witnesses, &eval, engine](std::size_t) -> BurstTask {
+                 auto scratch = std::make_shared<Scratch>(make_scratch(engine));
+                 return [&witnesses, &eval, scratch](std::size_t i) {
+                   witnesses[i] = eval(i, *scratch);
+                 };
+               });
   }
 
   // Deterministic fold in fault-set index order — identical to what a
@@ -204,7 +220,7 @@ FtCheckResult BasicStretchOracle<G>::evaluate_sets(
       fault_sets.size(),
       [&](std::size_t i, Scratch& s) { return evaluate(fault_sets[i], s); },
       [&](std::size_t i, Scratch&, VertexSet& out) { out = fault_sets[i]; },
-      options.threads);
+      options);
 }
 
 template <class G>
@@ -239,7 +255,7 @@ FtCheckResult BasicStretchOracle<G>::check_exact(
         return evaluate(s.faults, s);
       },
       [&](std::size_t i, Scratch&, VertexSet& out) { load(i, out); },
-      options.threads);
+      options);
 }
 
 template <class G>
@@ -307,7 +323,7 @@ FtCheckResult BasicStretchOracle<G>::check_sampled(
         build_faults(i, s);
         out = s.faults;
       },
-      options.threads);
+      options);
 }
 
 template class BasicStretchOracle<Graph>;

@@ -56,6 +56,15 @@ struct FtCheckOptions {
 
   /// Exact checks throw once the fault-set enumeration exceeds this.
   std::size_t max_fault_sets = 2'000'000;
+
+  /// Shortest-path engine policy for the scratch engines
+  /// (graph/engine_policy.hpp); resolved per graph from the CSR snapshots'
+  /// weight profiles. Never changes the FtCheckResult.
+  SpEnginePolicy engine = SpEnginePolicy::kAuto;
+
+  /// Fault sets per burst handed to a pipeline worker (0 = default burst;
+  /// see pipeline/burst_pipeline.hpp). Irrelevant to the result.
+  std::size_t batch = 0;
 };
 
 /// Number of fault sets of size <= r over n vertices (saturating).
@@ -92,7 +101,9 @@ class BasicStretchOracle {
   double stretch_bound() const { return k_; }
 
   /// Per-worker scratch: one pooled Dijkstra engine each for G and H plus
-  /// the reusable target/pool buffers. One per thread; never shared.
+  /// the reusable target/pool buffers. One per thread; never shared. The
+  /// engines' queue structure is resolved against each graph's weight
+  /// profile (bucket on bounded-integer weights under kAuto).
   struct Scratch {
     DijkstraEngine dg, dh;
     std::vector<Vertex> targets;
@@ -100,7 +111,7 @@ class BasicStretchOracle {
     std::vector<Vertex> interior;
     VertexSet faults;
   };
-  Scratch make_scratch() const;
+  Scratch make_scratch(SpEnginePolicy policy = SpEnginePolicy::kAuto) const;
 
   /// Worst surviving-edge stretch under one fault set; (1.0, invalid,
   /// invalid) when no surviving edge exists. The witness pair is the first
@@ -139,7 +150,7 @@ class BasicStretchOracle {
   template <class Eval, class Rebuild>
   FtCheckResult run_indexed(std::size_t count, const Eval& eval,
                             const Rebuild& rebuild,
-                            std::size_t threads) const;
+                            const FtCheckOptions& options) const;
 
   const G* g_;
   const G* h_;

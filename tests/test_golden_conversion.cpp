@@ -40,23 +40,35 @@ constexpr Golden kGolden[] = {
 
 TEST(GoldenConversion, FtGreedySpannerBitIdenticalAcrossRefactorAndThreads) {
   const Graph g = gnp(400, 0.05, 1234);
+  // The golden hashes must also survive every engine policy: the bucket
+  // queue's FIFO pop order is the stable heap's (key, seq) order, so heap,
+  // bucket, and auto are all bit-identical on this unit-weight graph — at
+  // every thread count and burst geometry.
+  constexpr SpEnginePolicy kPolicies[] = {
+      SpEnginePolicy::kAuto, SpEnginePolicy::kHeap, SpEnginePolicy::kBucket};
   for (const Golden& want : kGolden) {
     std::vector<EdgeId> at_one_thread;
-    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-      ConversionOptions opt;
-      opt.threads = threads;
-      opt.iteration_constant = 0.25;
-      const auto res = ft_greedy_spanner(g, 3.0, 2, want.seed, opt);
-      EXPECT_EQ(res.edges.size(), want.edges)
-          << "seed=" << want.seed << " threads=" << threads;
-      EXPECT_EQ(fnv1a(res.edges), want.hash)
-          << "seed=" << want.seed << " threads=" << threads;
-      if (threads == 1)
-        at_one_thread = res.edges;
-      else
-        EXPECT_EQ(res.edges, at_one_thread)
-            << "thread count changed the output at seed " << want.seed;
-    }
+    for (const SpEnginePolicy engine : kPolicies)
+      for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ConversionOptions opt;
+        opt.threads = threads;
+        opt.iteration_constant = 0.25;
+        opt.engine = engine;
+        opt.batch = threads == 4 ? 8 : 0;  // exercise a non-default burst
+        const auto res = ft_greedy_spanner(g, 3.0, 2, want.seed, opt);
+        EXPECT_EQ(res.edges.size(), want.edges)
+            << "seed=" << want.seed << " threads=" << threads
+            << " engine=" << to_string(engine);
+        EXPECT_EQ(fnv1a(res.edges), want.hash)
+            << "seed=" << want.seed << " threads=" << threads
+            << " engine=" << to_string(engine);
+        if (at_one_thread.empty())
+          at_one_thread = res.edges;
+        else
+          EXPECT_EQ(res.edges, at_one_thread)
+              << "thread count or engine changed the output at seed "
+              << want.seed;
+      }
   }
 }
 

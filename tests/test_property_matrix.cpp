@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/csr.hpp"
+#include "graph/sp_engine.hpp"
+
 namespace ftspan {
 namespace {
 
@@ -37,6 +40,51 @@ TEST(PropertyMatrix, EveryGeneratorAlgorithmCellHoldsItsGuarantee) {
     }
   // The acceptance bar: at least 30 green generator × algorithm cells.
   EXPECT_GE(cells, 30u);
+}
+
+// The engine-specialization cell: across every registered workload family,
+// families inside the bucket domain (integral weights, bounded maximum —
+// where kAuto actually selects the bucket) must reproduce the stable heap
+// bit-for-bit: distances, parents, vias, and the settle order. Families
+// outside the domain must resolve kAuto to the heap.
+TEST(PropertyMatrix, BucketEngineMatchesHeapAcrossAllWorkloads) {
+  std::size_t integral_cells = 0;
+  for (const auto& gen : default_generators()) {
+    SCOPED_TRACE(gen.name);
+    const GraphCase gc = gen.make(0.35, kMatrixSeed);
+    const Csr csr(gc.g);
+    const WeightProfile& wp = csr.weights();
+    if (!wp.integral || wp.max_weight > static_cast<Weight>(kMaxBucketWeight)) {
+      // Outside the bucket domain kAuto must fall back to the heap.
+      EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, wp.integral,
+                                wp.max_weight),
+                SpQueue::kHeap);
+      continue;
+    }
+    ++integral_cells;
+    DijkstraEngine heap, bucket;
+    heap.set_queue(SpQueue::kHeap);
+    bucket.set_queue(SpQueue::kBucket, wp.max_weight);
+    const std::size_t n = csr.num_vertices();
+    const std::size_t stride = std::max<std::size_t>(1, n / 12);
+    for (Vertex s = 0; s < n; s += static_cast<Vertex>(stride)) {
+      heap.run(csr, s);
+      bucket.run(csr, s);
+      const auto ho = heap.settle_order();
+      const auto bo = bucket.settle_order();
+      ASSERT_EQ(ho.size(), bo.size()) << "s=" << s;
+      for (std::size_t i = 0; i < ho.size(); ++i)
+        ASSERT_EQ(ho[i], bo[i]) << "s=" << s << " i=" << i;
+      for (Vertex v = 0; v < n; ++v) {
+        ASSERT_EQ(heap.dist(v), bucket.dist(v)) << "s=" << s << " v=" << v;
+        ASSERT_EQ(heap.parent(v), bucket.parent(v)) << "s=" << s << " v=" << v;
+        ASSERT_EQ(heap.via(v), bucket.via(v)) << "s=" << s << " v=" << v;
+      }
+    }
+  }
+  // The workload registry must keep exercising the bucket domain: at least
+  // the unit-weight families (gnp, grid, hypercube, ...) land here.
+  EXPECT_GE(integral_cells, 3u);
 }
 
 TEST(PropertyMatrix, MatrixIsSeedDeterministic) {

@@ -2,6 +2,7 @@
 // determinism, and parity with the direct library APIs.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -86,6 +87,12 @@ TEST(ScenarioSpecTest, ParseToStringRoundTripsByteIdentically) {
       "vseed=99",
       "workload=gnp n=128,256 p=0.09375 wseed=42 algo=ft_vertex k=3 r=1,2,4 "
       "c=0.25 iters=48 seed=7 threads=1 reps=3 validate=none timings=off",
+      // engine/batch print between threads and reps; engine=auto and
+      // batch=0 are the defaults and must stay invisible (first case above).
+      "workload=gnp wseed=1 algo=ft_vertex k=3 r=2 seed=1 threads=2 "
+      "engine=bucket batch=32 reps=1 validate=none",
+      "workload=gnp wseed=1 algo=greedy k=3 r=0 seed=1 threads=1 "
+      "engine=heap reps=1 validate=none",
   };
   for (const char* text : cases) {
     const ScenarioSpec spec = ScenarioSpec::parse(text);
@@ -116,12 +123,40 @@ TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
   EXPECT_THROW(ScenarioSpec::parse("validate=maybe"), std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse("timings=sometimes"),
                std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("engine=quantum"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("batch=-1"), std::invalid_argument);
   try {
     ScenarioSpec::parse("frobnicate=1");
   } catch (const std::invalid_argument& e) {
     // The unknown-key error teaches the valid keys.
     EXPECT_NE(std::string(e.what()).find("valid keys"), std::string::npos);
   }
+}
+
+TEST(ScenarioSpecTest, IntegerBoundaryValuesErrorWithTheKeyName) {
+  // strtoull accepts out-of-range input by saturating (and sets ERANGE);
+  // the parser must surface that as a hard error, not a silent clamp.
+  const char* bad[] = {
+      "r=99999999999999999999999",     // > 2^64: ERANGE saturation
+      "seed=18446744073709551616",     // exactly 2^64
+      "threads=",                      // empty value
+      "batch=",                        // empty value, new key
+      "r=-1",                          // strtoull would wrap to 2^64-1
+  };
+  for (const char* text : bad) {
+    const std::string key(text, std::strchr(text, '=') - text);
+    try {
+      ScenarioSpec::parse(text);
+      FAIL() << "expected std::invalid_argument for \"" << text << "\"";
+    } catch (const std::invalid_argument& e) {
+      // The message must name the offending key.
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "message for \"" << text << "\" was: " << e.what();
+    }
+  }
+  // The extreme *valid* value still parses exactly.
+  EXPECT_EQ(ScenarioSpec::parse("seed=18446744073709551615").seed,
+            18446744073709551615ull);
 }
 
 TEST(ScenarioSpecTest, FormatDoubleIsShortestRoundTrip) {

@@ -168,6 +168,118 @@ TEST(DijkstraEngine, EpochRolloverKeepsResultsCorrect) {
   EXPECT_LE(eng.debug_epoch(), 2u);  // wrapped: 0xffffffff -> 1 -> 2
 }
 
+// An integer-weight random graph (weights 1..12): the domain where kAuto
+// switches to the bucket queue.
+Graph integer_test_graph(std::size_t n, double p, std::uint64_t seed) {
+  Graph g = gnp(n, p, seed);
+  Graph out(g.num_vertices());
+  Rng rng(hash_combine(seed, 0x1b));
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    out.add_edge(e.u, e.v, static_cast<Weight>(rng.uniform_int(1, 12)));
+  }
+  return out;
+}
+
+// The tentpole contract: on integer weights the bucket queue reproduces the
+// stable heap bit-for-bit — distances, parents, vias, AND the settle order.
+TEST(DijkstraEngine, BucketQueueMatchesHeapBitForBitOnIntegerWeights) {
+  const Graph g = integer_test_graph(90, 0.08, 21);
+  const Csr csr(g);
+  ASSERT_TRUE(csr.weights().integral);
+  DijkstraEngine heap, bucket;
+  heap.set_queue(SpQueue::kHeap);
+  bucket.set_queue(SpQueue::kBucket, csr.weights().max_weight);
+  VertexSet faults(g.num_vertices());
+  faults.insert(3);
+  faults.insert(17);
+  for (Vertex s = 0; s < g.num_vertices(); s += 5) {
+    heap.run(csr, s, &faults);
+    bucket.run(csr, s, &faults);
+    const auto ho = heap.settle_order();
+    const auto bo = bucket.settle_order();
+    ASSERT_EQ(ho.size(), bo.size()) << "s=" << s;
+    for (std::size_t i = 0; i < ho.size(); ++i)
+      EXPECT_EQ(ho[i], bo[i]) << "s=" << s << " i=" << i;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(heap.dist(v), bucket.dist(v)) << "s=" << s << " v=" << v;
+      EXPECT_EQ(heap.parent(v), bucket.parent(v)) << "s=" << s << " v=" << v;
+      EXPECT_EQ(heap.via(v), bucket.via(v)) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(DijkstraEngine, BucketQueueBoundedPairMatchesHeap) {
+  const Graph g = integer_test_graph(70, 0.1, 33);
+  const Csr csr(g);
+  DijkstraEngine heap, bucket;
+  heap.set_queue(SpQueue::kHeap);
+  bucket.set_queue(SpQueue::kBucket, csr.weights().max_weight);
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Vertex t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Weight bound = static_cast<Weight>(rng.uniform_int(1, 24));
+    EXPECT_EQ(heap.bounded_pair(csr, s, t, nullptr, bound),
+              bucket.bounded_pair(csr, s, t, nullptr, bound))
+        << "s=" << s << " t=" << t << " bound=" << bound;
+  }
+}
+
+TEST(DijkstraEngine, BidirectionalBoundedPairWorksOnBucketQueue) {
+  const Graph g = integer_test_graph(60, 0.1, 44);
+  const Csr csr(g);
+  DijkstraEngine hf, hb, bf, bb;
+  hf.set_queue(SpQueue::kHeap);
+  hb.set_queue(SpQueue::kHeap);
+  bf.set_queue(SpQueue::kBucket, csr.weights().max_weight);
+  bb.set_queue(SpQueue::kBucket, csr.weights().max_weight);
+  const auto visit = [&csr](Vertex v, auto&& relax) {
+    for (const CsrArc& a : csr.out(v)) relax(a.to, a.w, a.edge);
+  };
+  Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Vertex t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Weight bound = static_cast<Weight>(rng.uniform_int(1, 24));
+    const Weight want = DijkstraEngine::bidirectional_bounded_pair(
+        hf, hb, g.num_vertices(), s, t, nullptr, bound, visit);
+    const Weight got = DijkstraEngine::bidirectional_bounded_pair(
+        bf, bb, g.num_vertices(), s, t, nullptr, bound, visit);
+    EXPECT_EQ(want, got) << "s=" << s << " t=" << t << " bound=" << bound;
+  }
+}
+
+TEST(DijkstraEngine, AutoPolicySelectsBucketOnlyForBoundedIntegerWeights) {
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, true, 12.0),
+            SpQueue::kBucket);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, false, 12.0),
+            SpQueue::kHeap);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, true,
+                            static_cast<Weight>(kMaxBucketWeight) + 1),
+            SpQueue::kHeap);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kHeap, true, 1.0), SpQueue::kHeap);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kBucket, true, 1.0),
+            SpQueue::kBucket);
+  // An explicit bucket request is downgraded on fractional weights — a
+  // label-setting bucket queue would be incorrect there.
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kBucket, false, 1.0),
+            SpQueue::kHeap);
+}
+
+TEST(DijkstraEngine, BucketQueueRunIsAllocationFreeAfterWarmUp) {
+  const Graph g = integer_test_graph(80, 0.1, 55);
+  const Csr csr(g);
+  DijkstraEngine eng;
+  eng.set_queue(SpQueue::kBucket, csr.weights().max_weight);
+  eng.reserve(g.num_vertices(), 2 * g.num_edges() + 1);
+  eng.run(csr, 0);  // warm-up
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) eng.run(csr, s);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
 TEST(DijkstraEngine, RunIsAllocationFreeAfterWarmUp) {
   const Graph g = gnp(80, 0.1, 5);
   const Csr csr(g);
