@@ -37,6 +37,14 @@ class Graph {
   /// rejected (returns kInvalidEdge); otherwise returns the new edge id.
   EdgeId add_edge(Vertex u, Vertex v, Weight w = 1.0);
 
+  /// Pre-sizes the edge array and the hash index for m insertions — the
+  /// bulk-load path (binary loader, edge_subgraph at million scale) avoids
+  /// rehash-and-grow churn this way.
+  void reserve_edges(std::size_t m) {
+    edges_.reserve(m);
+    index_.reserve(m);
+  }
+
   bool has_edge(Vertex u, Vertex v) const { return edge_id(u, v).has_value(); }
   std::optional<EdgeId> edge_id(Vertex u, Vertex v) const;
 

@@ -1,0 +1,329 @@
+#include "graph/graph_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+#include "graph/io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FTSPAN_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace ftspan {
+
+// The payload is read back by reinterpreting mapped bytes as these structs,
+// so their layout *is* the format. Pin it.
+static_assert(std::is_trivially_copyable_v<Edge> && sizeof(Edge) == 16);
+static_assert(offsetof(Edge, u) == 0 && offsetof(Edge, v) == 4 &&
+              offsetof(Edge, w) == 8);
+static_assert(std::is_trivially_copyable_v<CsrArc> && sizeof(CsrArc) == 16);
+static_assert(offsetof(CsrArc, to) == 0 && offsetof(CsrArc, edge) == 4 &&
+              offsetof(CsrArc, w) == 8);
+static_assert(offsetof(GraphFileHeader, magic) == 0 &&
+              offsetof(GraphFileHeader, version) == 8 &&
+              offsetof(GraphFileHeader, flags) == 12 &&
+              offsetof(GraphFileHeader, n) == 16 &&
+              offsetof(GraphFileHeader, m) == 24 &&
+              offsetof(GraphFileHeader, num_arcs) == 32 &&
+              offsetof(GraphFileHeader, weights_integral) == 40 &&
+              offsetof(GraphFileHeader, max_weight) == 48 &&
+              offsetof(GraphFileHeader, total_weight) == 56 &&
+              offsetof(GraphFileHeader, checksum) == 64 &&
+              offsetof(GraphFileHeader, reserved) == 72);
+
+std::uint64_t graph_file_checksum(std::span<const std::byte> bytes) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a, same as edge_set_hash
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::uint64_t byte_offset,
+                       const std::string& what) {
+  throw std::runtime_error("graph file '" + path + "': at byte " +
+                           std::to_string(byte_offset) + ": " + what);
+}
+
+struct Layout {
+  std::uint64_t edges_at;    ///< byte offset of the edge array
+  std::uint64_t offsets_at;  ///< byte offset of the CSR offset array
+  std::uint64_t arcs_at;     ///< byte offset of the CSR arc array
+  std::uint64_t total;       ///< total file size
+};
+
+/// Section offsets implied by a (validated) header. All inputs are bounded
+/// by the 32-bit id checks below, so the 64-bit arithmetic cannot overflow.
+Layout layout_of(const GraphFileHeader& h) {
+  Layout l;
+  l.edges_at = sizeof(GraphFileHeader);
+  l.offsets_at = l.edges_at + h.m * sizeof(Edge);
+  l.arcs_at = l.offsets_at + (h.n + 1) * sizeof(std::uint64_t);
+  l.total = l.arcs_at + h.num_arcs * sizeof(CsrArc);
+  return l;
+}
+
+}  // namespace
+
+void write_graph_binary(const std::string& path, std::size_t n,
+                        std::span<const Edge> edges) {
+  // Csr64 unconditionally: the on-disk offsets are 64-bit, so the writer
+  // takes the arc-ceiling-free path no matter the graph size.
+  const Csr64 csr = Csr64::from_edges(n, edges);
+
+  GraphFileHeader h{};
+  std::memcpy(h.magic, kGraphFileMagic, sizeof(h.magic));
+  h.version = kGraphFileVersion;
+  h.flags = 0;
+  h.n = n;
+  h.m = edges.size();
+  h.num_arcs = csr.num_arcs();
+  const WeightProfile& wp = csr.weights();
+  h.weights_integral = wp.integral ? 1 : 0;
+  h.max_weight = wp.max_weight;
+  h.total_weight = wp.total_weight;
+
+  const auto bytes = [](const auto& span) {
+    return std::as_bytes(std::span(span));
+  };
+  std::uint64_t sum = graph_file_checksum(bytes(edges));
+  // Continue the running FNV state across sections by re-seeding manually:
+  // checksum(payload) must equal one pass over the concatenated bytes.
+  const auto extend = [&sum](std::span<const std::byte> b) {
+    for (const std::byte x : b) {
+      sum ^= static_cast<std::uint64_t>(x);
+      sum *= 1099511628211ull;
+    }
+  };
+  extend(bytes(csr.offsets()));
+  extend(bytes(csr.arcs()));
+  h.checksum = sum;
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("graph file '" + path + "': cannot open for writing");
+  const auto write = [&os](const void* p, std::size_t len) {
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(len));
+  };
+  write(&h, sizeof(h));
+  write(edges.data(), edges.size_bytes());
+  write(csr.offsets().data(), csr.offsets().size_bytes());
+  write(csr.arcs().data(), csr.arcs().size_bytes());
+  os.flush();
+  if (!os) throw std::runtime_error("graph file '" + path + "': write failed");
+}
+
+void save_graph_binary(const std::string& path, const Graph& g) {
+  write_graph_binary(path, g.num_vertices(), g.edges());
+}
+
+bool is_graph_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[8];
+  if (!is.read(magic, sizeof(magic))) return false;
+  return std::memcmp(magic, kGraphFileMagic, sizeof(magic)) == 0;
+}
+
+MappedGraph::MappedGraph(const std::string& path) {
+#ifdef FTSPAN_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    throw std::runtime_error("graph file '" + path + "': cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw std::runtime_error("graph file '" + path + "': cannot stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+      throw std::runtime_error("graph file '" + path + "': mmap failed");
+    base_ = static_cast<const std::byte*>(map);
+    mmapped_ = true;
+  } else {
+    ::close(fd);
+  }
+#else
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) throw std::runtime_error("graph file '" + path + "': cannot open");
+  size_ = static_cast<std::size_t>(is.tellg());
+  auto* buf = new std::byte[size_];
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(buf), static_cast<std::streamsize>(size_));
+  base_ = buf;
+  mmapped_ = false;
+#endif
+
+  try {
+    // --- header field validation (cheap, before touching the payload) ---
+    if (size_ < sizeof(GraphFileHeader))
+      fail(path, size_,
+           "truncated: " + std::to_string(size_) + " bytes, the header alone needs " +
+               std::to_string(sizeof(GraphFileHeader)));
+    const GraphFileHeader& h = header();
+    if (std::memcmp(h.magic, kGraphFileMagic, sizeof(h.magic)) != 0)
+      fail(path, 0, "bad magic (not an ftspan.graph.v1 file)");
+    if (h.version != kGraphFileVersion)
+      fail(path, offsetof(GraphFileHeader, version),
+           "unsupported version " + std::to_string(h.version) + " (this build reads version " +
+               std::to_string(kGraphFileVersion) + ")");
+    if (h.flags != 0)
+      fail(path, offsetof(GraphFileHeader, flags),
+           "unsupported flags " + std::to_string(h.flags) +
+               " (directed graphs and unknown flag bits are not part of v1)");
+    if (h.n > static_cast<std::uint64_t>(kInvalidVertex))
+      fail(path, offsetof(GraphFileHeader, n),
+           "vertex count " + std::to_string(h.n) + " overflows the 32-bit vertex-id space");
+    if (h.m > static_cast<std::uint64_t>(kInvalidEdge))
+      fail(path, offsetof(GraphFileHeader, m),
+           "edge count " + std::to_string(h.m) + " overflows the 32-bit edge-id space");
+    if (h.num_arcs != 2 * h.m)
+      fail(path, offsetof(GraphFileHeader, num_arcs),
+           "arc count " + std::to_string(h.num_arcs) + " is not 2m = " + std::to_string(2 * h.m));
+
+    const Layout l = layout_of(h);
+    if (size_ != l.total)
+      fail(path, size_,
+           "truncated payload: header implies " + std::to_string(l.total) +
+               " bytes, file has " + std::to_string(size_));
+
+    // --- payload checksum ---
+    const std::uint64_t sum = graph_file_checksum(
+        {base_ + sizeof(GraphFileHeader), size_ - sizeof(GraphFileHeader)});
+    if (sum != h.checksum)
+      fail(path, offsetof(GraphFileHeader, checksum), "payload checksum mismatch");
+
+    edges_ = {reinterpret_cast<const Edge*>(base_ + l.edges_at),
+              static_cast<std::size_t>(h.m)};
+    offsets_ = {reinterpret_cast<const std::uint64_t*>(base_ + l.offsets_at),
+                static_cast<std::size_t>(h.n) + 1};
+    arcs_ = {reinterpret_cast<const CsrArc*>(base_ + l.arcs_at),
+             static_cast<std::size_t>(h.num_arcs)};
+
+    // --- structural validation: edges, offsets, arcs ---
+    const auto n = static_cast<Vertex>(h.n);
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      const Edge& e = edges_[i];
+      const std::uint64_t at = l.edges_at + i * sizeof(Edge);
+      if (e.u >= n || e.v >= n)
+        fail(path, at, "edge " + std::to_string(i) + " endpoint out of range [0, " +
+                           std::to_string(h.n) + ")");
+      if (e.u == e.v) fail(path, at, "edge " + std::to_string(i) + " is a self-loop");
+      if (!(e.w >= 0) || e.w > std::numeric_limits<double>::max())
+        fail(path, at, "edge " + std::to_string(i) + " weight is negative or not finite");
+    }
+    if (offsets_[0] != 0)
+      fail(path, l.offsets_at, "CSR offsets do not start at 0");
+    for (std::size_t v = 0; v < h.n; ++v)
+      if (offsets_[v + 1] < offsets_[v] || offsets_[v + 1] > h.num_arcs)
+        fail(path, l.offsets_at + (v + 1) * sizeof(std::uint64_t),
+             "CSR offsets are not monotone within [0, num_arcs]");
+    if (offsets_[h.n] != h.num_arcs)
+      fail(path, l.offsets_at + h.n * sizeof(std::uint64_t),
+           "CSR offsets do not end at num_arcs");
+    profile_ = WeightProfile{};
+    for (std::size_t v = 0; v < h.n; ++v)
+      for (std::uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+        const CsrArc& a = arcs_[i];
+        const std::uint64_t at = l.arcs_at + i * sizeof(CsrArc);
+        if (a.to >= n)
+          fail(path, at, "arc " + std::to_string(i) + " endpoint out of range");
+        if (a.edge >= h.m)
+          fail(path, at, "arc " + std::to_string(i) + " edge id out of range");
+        const Edge& e = edges_[a.edge];
+        const auto src = static_cast<Vertex>(v);
+        if (!((e.u == src && e.v == a.to) || (e.v == src && e.u == a.to)) ||
+            e.w != a.w)
+          fail(path, at,
+               "arc " + std::to_string(i) + " disagrees with edge " + std::to_string(a.edge));
+        profile_.observe(a.w);
+      }
+    // The header's hoisted profile must match the payload it summarizes
+    // (observation order is arc order — the writer's order, so equality is
+    // exact, not approximate).
+    if ((h.weights_integral != 0) != profile_.integral ||
+        h.max_weight != profile_.max_weight ||
+        h.total_weight != profile_.total_weight)
+      fail(path, offsetof(GraphFileHeader, weights_integral),
+           "header weight profile disagrees with the payload");
+  } catch (...) {
+    close();
+    throw;
+  }
+}
+
+const GraphFileHeader& MappedGraph::header() const {
+  return *reinterpret_cast<const GraphFileHeader*>(base_);
+}
+
+void MappedGraph::close() noexcept {
+  if (base_ != nullptr) {
+#ifdef FTSPAN_HAVE_MMAP
+    if (mmapped_) ::munmap(const_cast<std::byte*>(base_), size_);
+#else
+    delete[] base_;
+#endif
+  }
+  base_ = nullptr;
+  size_ = 0;
+  mmapped_ = false;
+}
+
+MappedGraph::~MappedGraph() { close(); }
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : base_(other.base_),
+      size_(other.size_),
+      mmapped_(other.mmapped_),
+      edges_(other.edges_),
+      offsets_(other.offsets_),
+      arcs_(other.arcs_),
+      profile_(other.profile_) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    close();
+    base_ = other.base_;
+    size_ = other.size_;
+    mmapped_ = other.mmapped_;
+    edges_ = other.edges_;
+    offsets_ = other.offsets_;
+    arcs_ = other.arcs_;
+    profile_ = other.profile_;
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Graph MappedGraph::to_graph() const {
+  Graph g(num_vertices());
+  g.reserve_edges(num_edges());
+  for (const Edge& e : edges_) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+Graph load_graph_binary(const std::string& path) {
+  return MappedGraph(path).to_graph();
+}
+
+Graph load_graph_any(const std::string& path) {
+  if (is_graph_binary(path)) return load_graph_binary(path);
+  return load_graph(path);
+}
+
+}  // namespace ftspan

@@ -1,0 +1,145 @@
+// ftspan.graph.v1 — the versioned binary on-disk graph format.
+//
+// The format stores the CSR arrays directly, so loading a graph is an mmap
+// plus validation instead of a parse: a MappedGraph exposes the edge array
+// and a CsrView straight into the mapping, and the Dijkstra engine traverses
+// it in place. Million-vertex instances load in milliseconds where the text
+// edge-list format takes a full parse and an adjacency rebuild.
+//
+// Layout (little-endian, natural alignment, all sections 8-byte aligned):
+//
+//   byte  0  char[8]  magic            "FTSPANG1"
+//   byte  8  u32      version          1
+//   byte 12  u32      flags            bit 0 = directed (readers reject set
+//                                      bits they do not understand)
+//   byte 16  u64      n                vertices
+//   byte 24  u64      m                undirected edges
+//   byte 32  u64      num_arcs         2m for undirected graphs
+//   byte 40  u8       weights_integral hoisted WeightProfile (graph/csr.hpp)
+//   byte 41  u8[7]    (zero padding)
+//   byte 48  f64      max_weight
+//   byte 56  f64      total_weight     observed per arc, i.e. 2x per edge
+//   byte 64  u64      checksum         FNV-1a over every payload byte
+//   byte 72  u64      (reserved, zero)
+//   byte 80  payload:
+//            m        x Edge   {u32 u, u32 v, f64 w}   edge array, id order
+//            (n + 1)  x u64    CSR offsets
+//            num_arcs x CsrArc {u32 to, u32 edge, f64 w}
+//
+// Offsets are 64-bit on disk unconditionally: the format is 64-bit clean and
+// does not inherit the in-memory Csr's 32-bit arc ceiling. Versioning rule:
+// readers accept exactly version 1 and reject unknown flag bits, so any
+// incompatible change bumps the version; compatible additions are impossible
+// by construction (the payload size is fully determined by the header) and
+// therefore also bump it. docs/FORMATS.md is the format's reference page.
+//
+// Every validation failure throws std::runtime_error naming the byte offset
+// of the offending header field or payload record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/graph.hpp"
+
+namespace ftspan {
+
+inline constexpr char kGraphFileMagic[8] = {'F', 'T', 'S', 'P',
+                                            'A', 'N', 'G', '1'};
+inline constexpr std::uint32_t kGraphFileVersion = 1;
+
+/// The on-disk header. Field order and widths are the format; the
+/// static_asserts in graph_file.cpp pin the layout byte-for-byte.
+struct GraphFileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t flags;
+  std::uint64_t n;
+  std::uint64_t m;
+  std::uint64_t num_arcs;
+  std::uint8_t weights_integral;
+  std::uint8_t pad[7];
+  double max_weight;
+  double total_weight;
+  std::uint64_t checksum;
+  std::uint64_t reserved;
+};
+static_assert(sizeof(GraphFileHeader) == 80,
+              "ftspan.graph.v1 header is exactly 80 bytes");
+
+/// FNV-1a over a byte range — the payload checksum. Exposed so tests (and
+/// corruption tooling) can re-stamp a patched payload.
+std::uint64_t graph_file_checksum(std::span<const std::byte> bytes);
+
+/// Writes `edges` (an n-vertex undirected graph, edge id = array position)
+/// as ftspan.graph.v1: the streaming importer's sink. The CSR arrays are
+/// built by degree-count + scatter in edge-id order — identical to
+/// Csr(Graph) for a Graph holding the same edge sequence — so writer paths
+/// that agree on the edge array produce byte-identical files.
+void write_graph_binary(const std::string& path, std::size_t n,
+                        std::span<const Edge> edges);
+
+/// write_graph_binary over a Graph's edge array.
+void save_graph_binary(const std::string& path, const Graph& g);
+
+/// True when `path` starts with the ftspan.graph.v1 magic (false for
+/// missing/short files — the caller decides how to treat those).
+bool is_graph_binary(const std::string& path);
+
+/// An open, validated, memory-mapped ftspan.graph.v1 file. Validation is one
+/// pass over the payload at open (checksum, CSR structure, endpoint/weight
+/// ranges, arc-edge cross-consistency); afterwards every accessor is
+/// zero-copy into the mapping. Move-only; the mapping lives as long as the
+/// object, and every span below points into it.
+class MappedGraph {
+ public:
+  explicit MappedGraph(const std::string& path);
+  ~MappedGraph();
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+
+  std::size_t num_vertices() const { return static_cast<std::size_t>(header().n); }
+  std::size_t num_edges() const { return static_cast<std::size_t>(header().m); }
+  const GraphFileHeader& header() const;
+
+  /// The hoisted weight facts, straight from the (validated) header.
+  const WeightProfile& weights() const { return profile_; }
+
+  /// The edge array, id order — the exact sequence Graph::edges() held when
+  /// the file was written.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Zero-copy CSR over the mapped offset/arc arrays; traversable by
+  /// DijkstraEngine and friends in place.
+  CsrView csr() const { return CsrView(offsets_, arcs_, profile_); }
+
+  /// Materializes the adjacency-list Graph (id-preserving), for consumers
+  /// that need mutation or the hash-based edge index. O(n + m).
+  Graph to_graph() const;
+
+ private:
+  void close() noexcept;
+
+  const std::byte* base_ = nullptr;  ///< mapping (or fallback buffer) base
+  std::size_t size_ = 0;
+  bool mmapped_ = false;  ///< false: base_ is a heap buffer (read fallback)
+  std::span<const Edge> edges_;
+  std::span<const std::uint64_t> offsets_;
+  std::span<const CsrArc> arcs_;
+  WeightProfile profile_;
+};
+
+/// Loads a binary graph into a Graph (MappedGraph::to_graph in one call).
+Graph load_graph_binary(const std::string& path);
+
+/// Loads `path` as ftspan.graph.v1 when the magic matches, as the text
+/// edge-list format (graph/io.hpp) otherwise — the loader behind the
+/// `file=` workload and every CLI `-i` flag.
+Graph load_graph_any(const std::string& path);
+
+}  // namespace ftspan

@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -19,6 +20,14 @@ bool next_content_line(std::istream& is, std::string& line) {
   return false;
 }
 
+/// After the expected fields parsed, only whitespace (including the \r a
+/// CRLF file leaves behind) or an inline '#' comment may remain.
+bool only_trailing_comment(std::istringstream& ls) {
+  char ch;
+  if (!(ls >> ch)) return true;  // whitespace-only tail
+  return ch == '#';
+}
+
 struct Header {
   std::size_t n;
   std::size_t m;
@@ -31,7 +40,11 @@ Header read_header(std::istream& is) {
     throw std::runtime_error("graph io: missing header line");
   std::istringstream ls(line);
   Header h{};
-  if (!(ls >> h.n >> h.m >> h.kind) || (h.kind != 'u' && h.kind != 'd'))
+  if (!(ls >> h.n >> h.m >> h.kind) || !only_trailing_comment(ls))
+    throw std::runtime_error("graph io: malformed header: " + line);
+  h.kind = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(h.kind)));
+  if (h.kind != 'u' && h.kind != 'd')
     throw std::runtime_error("graph io: malformed header: " + line);
   return h;
 }
@@ -63,7 +76,7 @@ Graph read_graph(std::istream& is) {
     std::istringstream ls(line);
     Vertex u, v;
     Weight w;
-    if (!(ls >> u >> v >> w))
+    if (!(ls >> u >> v >> w) || !only_trailing_comment(ls))
       throw std::runtime_error("graph io: malformed edge: " + line);
     g.add_edge(u, v, w);
   }
@@ -82,7 +95,7 @@ Digraph read_digraph(std::istream& is) {
     std::istringstream ls(line);
     Vertex u, v;
     Weight w;
-    if (!(ls >> u >> v >> w))
+    if (!(ls >> u >> v >> w) || !only_trailing_comment(ls))
       throw std::runtime_error("graph io: malformed edge: " + line);
     g.add_edge(u, v, w);
   }

@@ -1,9 +1,12 @@
 // Plain-text edge-list I/O.
 //
 // Format (both graph kinds):
-//   line 1: "<n> <m> <u|d>"        (u = undirected, d = directed)
+//   line 1: "<n> <m> <u|d>"        (u = undirected, d = directed;
+//                                   case-insensitive)
 //   then m lines: "<u> <v> <w>"
-// '#' starts a comment line.
+// '#' starts a comment — a whole line or the tail of one. CRLF line endings
+// and trailing whitespace are accepted; any other trailing garbage on a
+// header or edge line is a parse error.
 #pragma once
 
 #include <iosfwd>

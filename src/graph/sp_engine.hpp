@@ -62,7 +62,16 @@ inline std::span<const Arc> out_arcs(const Graph& g, Vertex v) {
 inline std::span<const Arc> out_arcs(const Digraph& g, Vertex v) {
   return g.out_neighbors(v);
 }
-inline std::span<const CsrArc> out_arcs(const Csr& g, Vertex v) {
+template <class Offset>
+inline std::span<const CsrArc> out_arcs(const BasicCsr<Offset>& g, Vertex v) {
+  return g.out(v);
+}
+// The mmap-backed view (graph/graph_file.hpp) runs through the same engine —
+// there is no 32-bit arc ceiling on this path, the view's offsets are
+// 64-bit. (The heap's per-run push-sequence tie-break counter is 32-bit; a
+// single run would need > 2^32 relaxations to recycle it, which bounded
+// searches never approach.)
+inline std::span<const CsrArc> out_arcs(const CsrView& g, Vertex v) {
   return g.out(v);
 }
 

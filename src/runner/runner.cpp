@@ -86,6 +86,7 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
       wp.p = spec.p;
       wp.scale = spec.scale;
       wp.seed = spec.wseed;
+      wp.path = spec.path;
       const WorkloadInstance instance = workload.make(wp);
       const Graph& g = instance.g;
 

@@ -108,6 +108,7 @@ std::vector<double> parse_double_list(const std::string& key,
 std::string ScenarioSpec::to_string() const {
   std::ostringstream os;
   os << "workload=" << workload;
+  if (!path.empty()) os << " path=" << path;
   if (!n.empty()) os << " n=" << join_sizes(n);
   if (p >= 0) os << " p=" << format_double(p);
   if (scale != 1.0) os << " scale=" << format_double(scale);
@@ -147,6 +148,8 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     const std::string value = token.substr(eq + 1);
     if (key == "workload") {
       spec.workload = value;
+    } else if (key == "path") {
+      spec.path = value;
     } else if (key == "n") {
       spec.n = parse_size_list(key, value);
     } else if (key == "p") {
@@ -196,7 +199,7 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else {
       throw std::invalid_argument(
           "scenario spec: unknown key '" + key +
-          "'; valid keys: workload n p scale wseed algo k r c iters seed "
+          "'; valid keys: workload path n p scale wseed algo k r c iters seed "
           "threads engine batch reps validate trials adversarial vseed "
           "timings");
     }

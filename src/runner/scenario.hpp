@@ -25,6 +25,8 @@ namespace ftspan::runner {
 struct ScenarioSpec {
   // --- workload ---
   std::string workload = "gnp";
+  std::string path;            ///< for workload=file: the graph file to load
+                               ///< (no whitespace — specs are token-split)
   std::vector<std::size_t> n;  ///< size sweep; empty = workload default
   double p = -1.0;             ///< density knob; < 0 = workload default
   double scale = 1.0;          ///< workload scale factor

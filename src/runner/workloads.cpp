@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
 
 namespace ftspan::runner {
 
@@ -133,6 +136,20 @@ Registry<Workload> build_registry() {
                          os << "n=" << n;
                          return WorkloadInstance{complete(n), os.str()};
                        }});
+
+  reg.add("file",
+          {"graph loaded from path= (ftspan.graph.v1 binary or text "
+           "edge-list, sniffed by magic); size/density knobs are ignored",
+           [](const WorkloadParams& wp) {
+             if (wp.path.empty())
+               throw std::invalid_argument(
+                   "workload 'file' needs path=<graph file>");
+             Graph g = load_graph_any(wp.path);
+             std::ostringstream os;
+             os << "path=" << wp.path << " n=" << g.num_vertices()
+                << " m=" << g.num_edges();
+             return WorkloadInstance{std::move(g), os.str()};
+           }});
 
   return reg;
 }

@@ -33,6 +33,11 @@ struct WorkloadParams {
   double scale = 1.0;
 
   std::uint64_t seed = 1;
+
+  /// For the "file" family only: the graph file to load (ftspan.graph.v1
+  /// binary or the text edge-list format, sniffed by magic). The size and
+  /// density knobs above are ignored — the file is the instance.
+  std::string path;
 };
 
 struct WorkloadInstance {
@@ -49,7 +54,7 @@ struct Workload {
 
 /// The process-wide workload catalog (registration order is display order):
 /// gnp, sensor, grid, road, preferential, smallworld, hypercube, tie_dense,
-/// complete.
+/// complete, file.
 const Registry<Workload>& workload_registry();
 
 /// Convenience: workload_registry().get(name).make(params). Throws

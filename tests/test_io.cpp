@@ -43,6 +43,43 @@ TEST(GraphIo, CommentsAndBlankLinesSkipped) {
   EXPECT_DOUBLE_EQ(g.edge(0).w, 2.5);
 }
 
+TEST(GraphIo, CrlfLineEndingsAccepted) {
+  std::stringstream ss("3 1 u\r\n0 1 2.5\r\n");
+  const Graph g = read_graph(ss);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 2.5);
+}
+
+TEST(GraphIo, TrailingWhitespaceAccepted) {
+  std::stringstream ss("3 1 u   \t\n0 1 2.5 \t \n");
+  const Graph g = read_graph(ss);
+  ASSERT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphIo, HeaderKindIsCaseInsensitive) {
+  std::stringstream upper("3 1 U\n0 1 2.5\n");
+  EXPECT_EQ(read_graph(upper).num_edges(), 1u);
+  std::stringstream upper_d("3 1 D\n0 1 2.5\n");
+  EXPECT_EQ(read_digraph(upper_d).num_edges(), 1u);
+}
+
+TEST(GraphIo, InlineCommentsAccepted) {
+  std::stringstream ss("3 1 u # header comment\n0 1 2.5 # edge comment\n");
+  const Graph g = read_graph(ss);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 2.5);
+}
+
+TEST(GraphIo, TrailingGarbageOnHeaderThrows) {
+  std::stringstream ss("3 1 u garbage\n0 1 2.5\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, TrailingGarbageOnEdgeThrows) {
+  std::stringstream ss("3 1 u\n0 1 2.5 garbage\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
 TEST(GraphIo, MalformedHeaderThrows) {
   std::stringstream ss("oops\n");
   EXPECT_THROW(read_graph(ss), std::runtime_error);

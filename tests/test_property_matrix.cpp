@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "graph/csr.hpp"
+#include "graph/graph_file.hpp"
 #include "graph/sp_engine.hpp"
+#include "runner/runner.hpp"
 
 namespace ftspan {
 namespace {
@@ -85,6 +87,60 @@ TEST(PropertyMatrix, BucketEngineMatchesHeapAcrossAllWorkloads) {
   // The workload registry must keep exercising the bucket domain: at least
   // the unit-weight families (gnp, grid, hypercube, ...) land here.
   EXPECT_GE(integral_cells, 3u);
+}
+
+// The binary round-trip cell (ISSUE 7): for every registered workload
+// family, generating the instance, saving it to ftspan.graph.v1, mmap-
+// loading it back through the `file` workload, and rerunning the algorithm
+// must reproduce the edge-set hash bit-for-bit — per thread count, for a
+// deterministic construction (greedy) and a seeded one (ft_vertex).
+TEST(PropertyMatrix, BinaryRoundTripKeepsEdgesHashBitIdentical) {
+  constexpr double kScale = 0.35;
+  for (const std::string& name : runner::workload_registry().names()) {
+    if (name == "file") continue;  // nothing to generate
+    SCOPED_TRACE(name);
+    runner::WorkloadParams wp;
+    wp.scale = kScale;
+    wp.seed = kMatrixSeed;
+    const runner::WorkloadInstance inst = runner::make_workload(name, wp);
+    const std::string path =
+        ::testing::TempDir() + "/roundtrip_" + name + ".fgb";
+    save_graph_binary(path, inst.g);
+
+    for (const bool ft : {false, true}) {
+      runner::ScenarioSpec direct;
+      direct.workload = name;
+      direct.scale = kScale;
+      direct.wseed = kMatrixSeed;
+      direct.algo = ft ? "ft_vertex" : "greedy";
+      direct.k = {3.0};
+      direct.r = {ft ? std::size_t{1} : std::size_t{0}};
+      direct.seed = kMatrixSeed;
+      direct.threads = {1, 2, 4, 8};
+      direct.validate = "none";
+
+      runner::ScenarioSpec via_file = direct;
+      via_file.workload = "file";
+      via_file.path = path;
+      via_file.scale = 1.0;  // the file IS the instance; no scaling knobs
+
+      const runner::ScenarioReport a = runner::run_scenario(direct);
+      const runner::ScenarioReport b = runner::run_scenario(via_file);
+      ASSERT_EQ(a.cells.size(), b.cells.size());
+      ASSERT_EQ(a.cells.size(), 4u) << "one cell per thread count";
+      for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        SCOPED_TRACE(direct.algo + " threads=" +
+                     std::to_string(a.cells[i].threads));
+        ASSERT_EQ(a.cells[i].threads, b.cells[i].threads);
+        EXPECT_EQ(a.cells[i].n, b.cells[i].n);
+        EXPECT_EQ(a.cells[i].m, b.cells[i].m);
+        EXPECT_EQ(a.cells[i].edges, b.cells[i].edges);
+        EXPECT_EQ(a.cells[i].edges_hash, b.cells[i].edges_hash);
+        // The determinism contract also holds ACROSS thread counts.
+        EXPECT_EQ(a.cells[i].edges_hash, a.cells[0].edges_hash);
+      }
+    }
+  }
 }
 
 TEST(PropertyMatrix, MatrixIsSeedDeterministic) {

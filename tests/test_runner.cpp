@@ -8,6 +8,7 @@
 
 #include "ftspanner/conversion.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
 #include "runner/algorithms.hpp"
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
@@ -65,9 +66,14 @@ TEST(Registries, CatalogCoverage) {
 }
 
 TEST(Registries, WorkloadsAreSeedDeterministic) {
+  // The `file` workload has no generator seed — its instance is the file.
+  // Point it at a saved graph so two make_workload calls load it twice.
+  const std::string fgb = ::testing::TempDir() + "/runner_registry.fgb";
+  save_graph_binary(fgb, gnp(30, 0.2, 7, 4.0));
   for (const std::string& name : runner::workload_registry().names()) {
     WorkloadParams wp;
     wp.seed = 77;
+    if (name == "file") wp.path = fgb;
     const auto a = runner::make_workload(name, wp);
     const auto b = runner::make_workload(name, wp);
     EXPECT_EQ(a.params, b.params) << name;

@@ -7,10 +7,16 @@
 //   ftspan_cli ft2       -i digraph.txt -r R            (directed 2-spanner)
 //   ftspan_cli verify    -i graph.txt -s spanner.txt -k K [-r R] [--exact]
 //   ftspan_cli check     -i graph.txt -s spanner.txt -k K -r R [--threads T]
+//   ftspan_cli import    -i in.gr -o out.fgb [--format auto|dimacs|edgelist]
+//   ftspan_cli info      -i graph.fgb         (validate + print the header)
+//   ftspan_cli corpus    -o DIR [--scale S] [--seed S]
 //   ftspan_cli selftest                                  (used by ctest)
 //   ftspan_cli help                                      (full usage text)
 //
-// Graph files use the library's edge-list format (see src/graph/io.hpp).
+// Graph files use the library's edge-list format (see src/graph/io.hpp) or
+// the ftspan.graph.v1 binary format (src/graph/graph_file.hpp, written by
+// `import`, `corpus`, and any `--binary` emit); every -i flag sniffs which
+// one it was given by the file's magic.
 // `--threads T` fans the conversion's sampling iterations across T worker
 // threads (0 = all hardware threads); the output edge set is bit-identical
 // to --threads 1 for the same seed (see src/ftspanner/parallel.hpp).
@@ -27,6 +33,8 @@
 #include "ftspanner/edge_faults.hpp"
 #include "ftspanner/validate.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/import.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "runner/runner.hpp"
@@ -89,9 +97,25 @@ void print_usage(std::FILE* out) {
       "  gen grid ROWS COLS   ROWS x COLS grid graph\n"
       "  gen geometric N R    random geometric graph, connect radius R\n"
       "  gen complete N       complete graph K_N\n"
-      "      common gen options: [--seed S] [-o FILE]\n"
+      "      common gen options: [--seed S] [-o FILE] [--binary]\n"
       "      without -o the graph is written to stdout (edge-list format,\n"
-      "      see src/graph/io.hpp)\n"
+      "      see src/graph/io.hpp); --binary writes ftspan.graph.v1 instead\n"
+      "      (requires -o; see docs/FORMATS.md)\n"
+      "\n"
+      "  import               stream a text instance into the binary format\n"
+      "      -i FILE          input: DIMACS .gr (c/p/a/e lines) or this\n"
+      "                       repo's edge-list format (required)\n"
+      "      -o FILE          output ftspan.graph.v1 file (required)\n"
+      "      --format F       auto (default, sniffed) | dimacs | edgelist\n"
+      "\n"
+      "  info                 validate a binary graph file, print its header\n"
+      "      -i FILE          ftspan.graph.v1 file (required)\n"
+      "\n"
+      "  corpus               write one small binary graph per generated\n"
+      "                       workload family (the CI format-smoke corpus)\n"
+      "      -o DIR           output directory (required; must exist)\n"
+      "      --scale S        workload scale factor, default 0.25\n"
+      "      --seed S         workload seed, default 1\n"
       "\n"
       "  spanner              plain k-spanner of an input graph\n"
       "      -i FILE          input graph (required)\n"
@@ -171,13 +195,19 @@ int usage() {
   return 2;
 }
 
-void emit(const Graph& g, const std::string& path) {
+void emit(const Graph& g, const std::string& path, bool binary = false) {
   if (path.empty()) {
+    if (binary)
+      throw std::runtime_error("--binary needs -o FILE (binary to a "
+                               "terminal is never what you want)");
     write_graph(std::cout, g);
   } else {
-    save_graph(path, g);
-    std::printf("wrote %s (n=%zu, m=%zu)\n", path.c_str(), g.num_vertices(),
-                g.num_edges());
+    if (binary)
+      save_graph_binary(path, g);
+    else
+      save_graph(path, g);
+    std::printf("wrote %s (n=%zu, m=%zu%s)\n", path.c_str(), g.num_vertices(),
+                g.num_edges(), binary ? ", ftspan.graph.v1" : "");
   }
 }
 
@@ -201,7 +231,7 @@ int cmd_gen(const Args& a) {
   } else {
     return usage();
   }
-  emit(g, a.get("o"));
+  emit(g, a.get("o"), a.flag("binary"));
   return 0;
 }
 
@@ -209,7 +239,7 @@ int cmd_spanner(const Args& a) {
   const std::string in = a.get("i");
   const double k = a.num("k", 3.0);
   if (in.empty()) return usage();
-  const Graph g = load_graph(in);
+  const Graph g = load_graph_any(in);
   const std::string algo = a.get("algo", "greedy");
   const std::uint64_t seed = static_cast<std::uint64_t>(a.num("seed", 1));
 
@@ -227,7 +257,7 @@ int cmd_spanner(const Args& a) {
   std::printf("%s %g-spanner: %zu -> %zu edges, stretch (exact over edges): %.3f\n",
               algo.c_str(), k, g.num_edges(), h.num_edges(),
               max_edge_stretch(g, h));
-  emit(h, a.get("o"));
+  emit(h, a.get("o"), a.flag("binary"));
   return 0;
 }
 
@@ -238,7 +268,7 @@ int cmd_spanner(const Args& a) {
 int run_ft_conversion(const Args& a, bool edge_faults) {
   const std::string in = a.get("i");
   if (in.empty()) return usage();
-  const Graph g = load_graph(in);
+  const Graph g = load_graph_any(in);
   const double k = a.num("k", 3.0);
   const std::size_t r = static_cast<std::size_t>(a.num("r", 1));
   const double c = a.num("c", 1.0);
@@ -280,7 +310,7 @@ int run_ft_conversion(const Args& a, bool edge_faults) {
               r, edge_faults ? "edge-" : "", k, g.num_edges(),
               s.h.num_edges(), s.iterations, s.threads_used,
               s.valid ? "valid" : "INVALID", s.worst_stretch);
-  emit(s.h, a.get("o"));
+  emit(s.h, a.get("o"), a.flag("binary"));
   return s.valid ? 0 : 1;
 }
 
@@ -327,8 +357,8 @@ int cmd_ft2(const Args& a) {
 int cmd_verify(const Args& a) {
   const std::string in = a.get("i"), sp = a.get("s");
   if (in.empty() || sp.empty()) return usage();
-  const Graph g = load_graph(in);
-  const Graph h = load_graph(sp);
+  const Graph g = load_graph_any(in);
+  const Graph h = load_graph_any(sp);
   const double k = a.num("k", 3.0);
   const std::size_t r = static_cast<std::size_t>(a.num("r", 0));
   if (r == 0) {
@@ -351,8 +381,8 @@ int cmd_verify(const Args& a) {
 int cmd_check(const Args& a) {
   const std::string in = a.get("i"), sp = a.get("s");
   if (in.empty() || sp.empty()) return usage();
-  const Graph g = load_graph(in);
-  const Graph h = load_graph(sp);
+  const Graph g = load_graph_any(in);
+  const Graph h = load_graph_any(sp);
   const double k = a.num("k", 3.0);
   const std::size_t r = static_cast<std::size_t>(a.num("r", 0));
   const bool exact = a.flag("exact") || r == 0;  // r = 0 enumerates only ∅
@@ -395,6 +425,75 @@ int cmd_check(const Args& a) {
 #ifndef FTSPAN_BUILD_TYPE
 #define FTSPAN_BUILD_TYPE "unknown"
 #endif
+
+/// `import` — stream a DIMACS .gr / text edge-list file into the
+/// ftspan.graph.v1 binary format (src/graph/import.hpp).
+int cmd_import(const Args& a) {
+  const std::string in = a.get("i"), out = a.get("o");
+  if (in.empty() || out.empty()) return usage();
+  const std::string fmt = a.get("format", "auto");
+  ImportFormat format;
+  if (fmt == "auto") {
+    format = ImportFormat::kAuto;
+  } else if (fmt == "dimacs") {
+    format = ImportFormat::kDimacs;
+  } else if (fmt == "edgelist") {
+    format = ImportFormat::kEdgeList;
+  } else {
+    std::fprintf(stderr, "unknown --format '%s' (auto | dimacs | edgelist)\n",
+                 fmt.c_str());
+    return 2;
+  }
+  const ImportResult res = import_graph_file(in, out, format);
+  std::printf("imported %s -> %s: n=%zu m=%zu (%zu lines, %zu arcs seen, "
+              "%zu duplicates dropped, %zu self-loops dropped)\n",
+              in.c_str(), out.c_str(), res.n, res.edges, res.lines,
+              res.arcs_seen, res.duplicates, res.self_loops);
+  return 0;
+}
+
+/// `info` — validate a binary graph file and print its header facts.
+int cmd_info(const Args& a) {
+  const std::string in = a.get("i");
+  if (in.empty()) return usage();
+  if (!is_graph_binary(in)) {
+    std::fprintf(stderr, "%s is not an ftspan.graph.v1 file\n", in.c_str());
+    return 1;
+  }
+  const MappedGraph mg(in);
+  const GraphFileHeader& h = mg.header();
+  std::printf("%s: ftspan.graph.v1\n", in.c_str());
+  std::printf("  n                %llu\n", (unsigned long long)h.n);
+  std::printf("  m                %llu\n", (unsigned long long)h.m);
+  std::printf("  arcs             %llu\n", (unsigned long long)h.num_arcs);
+  std::printf("  weights          %s, max %.17g, total (per arc) %.17g\n",
+              h.weights_integral ? "integral" : "real", h.max_weight,
+              h.total_weight);
+  std::printf("  checksum         %016llx (verified)\n",
+              (unsigned long long)h.checksum);
+  return 0;
+}
+
+/// `corpus` — one tiny binary graph per generated workload family, written
+/// to a directory: the committed-seed corpus CI's format-smoke job runs on.
+int cmd_corpus(const Args& a) {
+  const std::string dir = a.get("o");
+  if (dir.empty()) return usage();
+  runner::WorkloadParams wp;
+  wp.scale = a.num("scale", 0.25);
+  wp.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  for (const std::string& name : runner::workload_registry().names()) {
+    if (name == "file") continue;  // the one family that has no generator
+    const runner::WorkloadInstance inst =
+        runner::workload_registry().get(name).make(wp);
+    const std::string path = dir + "/" + name + ".fgb";
+    save_graph_binary(path, inst.g);
+    std::printf("wrote %s (%s, n=%zu, m=%zu)\n", path.c_str(),
+                inst.params.c_str(), inst.g.num_vertices(),
+                inst.g.num_edges());
+  }
+  return 0;
+}
 
 /// `version` — the build's git describe and CMake build type.
 int cmd_version() {
@@ -513,6 +612,9 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(a);
     if (cmd == "check") return cmd_check(a);
     if (cmd == "bench") return cmd_bench(a);
+    if (cmd == "import") return cmd_import(a);
+    if (cmd == "info") return cmd_info(a);
+    if (cmd == "corpus") return cmd_corpus(a);
     if (cmd == "version") return cmd_version();
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
