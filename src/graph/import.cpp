@@ -42,6 +42,11 @@ struct LineScanner {
   std::uint64_t u64(const char* what) {
     skip_space();
     if (*p == '-') fail(source, line_no, std::string(what) + " is negative");
+    // strtoull accepts a leading '+', which neither grammar allows — the
+    // scenario parser's parse_u64 rejects both signs, so match it.
+    if (*p == '+')
+      fail(source, line_no,
+           std::string(what) + " has a sign (unsigned decimal expected)");
     char* end = nullptr;
     errno = 0;
     const unsigned long long v = std::strtoull(p, &end, 10);

@@ -1,8 +1,10 @@
 #include "pipeline/burst_pipeline.hpp"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,45 +20,49 @@ struct Burst {
   std::size_t end = 0;
 };
 
-/// Everything one worker owns. Rings are per-worker (SPSC: coordinator
-/// produces, the worker consumes); `stop` flips only after the coordinator
-/// has pushed that worker's last burst.
-struct WorkerLane {
-  explicit WorkerLane(std::size_t ring_capacity) : ring(ring_capacity) {}
-  SpscRing<Burst> ring;
-  std::atomic<bool> stop{false};
-  std::exception_ptr error;  ///< written by the worker, read after join
-};
-
 }  // namespace
 
-void run_bursts(std::size_t count, const BurstOptions& options,
-                const BurstTaskFactory& factory) {
-  if (count == 0) return;
-  const std::size_t workers = options.workers == 0 ? 1 : options.workers;
-  const std::size_t burst = options.burst == 0 ? kDefaultBurst : options.burst;
+/// Everything one worker owns. Rings are per-worker (SPSC: coordinator
+/// produces, the worker consumes). The mutex/cv pair only matters while the
+/// lane is idle: a worker with a non-empty ring never touches it, so the
+/// in-flight hand-off cost stays one acquire/release pair per burst.
+struct BurstPool::Lane {
+  explicit Lane(std::size_t ring_capacity) : ring(ring_capacity) {}
+  SpscRing<Burst> ring;
+  std::mutex m;
+  std::condition_variable cv;
+  bool stop = false;         ///< guarded by m
+  std::exception_ptr error;  ///< worker-written; read/cleared between runs
+  bool factory_failed = false;  ///< permanent: the lane never got a task
+};
 
-  if (workers == 1) {
-    const BurstTask task = factory(0);
-    for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
-  }
+/// Run-completion rendezvous: workers count finished bursts, the
+/// coordinator sleeps until the count reaches the run's burst total.
+struct BurstPool::Completion {
+  std::atomic<std::size_t> bursts{0};
+  std::mutex m;
+  std::condition_variable cv;
+};
 
-  std::vector<std::unique_ptr<WorkerLane>> lanes;
-  lanes.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w)
-    lanes.push_back(std::make_unique<WorkerLane>(options.ring_capacity));
+BurstPool::BurstPool(std::size_t workers, BurstTaskFactory factory,
+                     std::size_t ring_capacity) {
+  const std::size_t n = workers == 0 ? 1 : workers;
+  lanes_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w)
+    lanes_.push_back(std::make_unique<Lane>(ring_capacity));
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    WorkerLane* lane = lanes[w].get();
-    threads.emplace_back([lane, &factory, w] {
+  done_ = std::make_unique<Completion>();
+  threads_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    Lane* lane = lanes_[w].get();
+    Completion* done = done_.get();
+    threads_.emplace_back([lane, done, factory, w] {
       BurstTask task;
       try {
         task = factory(w);
       } catch (...) {
         lane->error = std::current_exception();
+        lane->factory_failed = true;
       }
       Burst b;
       for (;;) {
@@ -71,31 +77,95 @@ void run_bursts(std::size_t count, const BurstOptions& options,
               lane->error = std::current_exception();
             }
           }
+          done->bursts.fetch_add(1, std::memory_order_release);
+          {
+            std::lock_guard<std::mutex> l(done->m);
+          }
+          done->cv.notify_one();
           continue;
         }
-        if (lane->stop.load(std::memory_order_acquire) && lane->ring.empty())
-          break;
-        std::this_thread::yield();
+        std::unique_lock<std::mutex> l(lane->m);
+        if (!lane->ring.empty()) continue;  // pushed while we took the lock
+        if (lane->stop) break;
+        lane->cv.wait(l);
       }
     });
   }
+}
+
+BurstPool::~BurstPool() {
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> l(lane->m);
+      lane->stop = true;
+    }
+    lane->cv.notify_one();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+void BurstPool::feed(Lane& lane, std::size_t begin, std::size_t end) {
+  const Burst b{begin, end};
+  while (!lane.ring.try_push(b)) std::this_thread::yield();
+  // The empty critical section orders the push before the worker's
+  // ring-empty recheck under the same mutex, so the notify cannot be lost.
+  {
+    std::lock_guard<std::mutex> l(lane.m);
+  }
+  lane.cv.notify_one();
+}
+
+void BurstPool::run(std::size_t count, std::size_t burst) {
+  if (count == 0) return;
+  const std::size_t width = burst == 0 ? kDefaultBurst : burst;
+  const std::size_t total = (count + width - 1) / width;
+
+  done_->bursts.store(0, std::memory_order_relaxed);
 
   // Round-robin distribution: burst b -> worker b % workers, in order. With
   // equal-cost bursts this is exactly the static block-cyclic schedule; with
   // skewed costs the ring depth (bursts in flight) absorbs the imbalance.
   std::size_t next_worker = 0;
-  for (std::size_t begin = 0; begin < count; begin += burst) {
-    const Burst b{begin, std::min(begin + burst, count)};
-    WorkerLane& lane = *lanes[next_worker];
-    while (!lane.ring.try_push(b)) std::this_thread::yield();
-    next_worker = next_worker + 1 == workers ? 0 : next_worker + 1;
+  for (std::size_t begin = 0; begin < count; begin += width) {
+    feed(*lanes_[next_worker], begin, std::min(begin + width, count));
+    next_worker = next_worker + 1 == lanes_.size() ? 0 : next_worker + 1;
   }
-  for (auto& lane : lanes) lane->stop.store(true, std::memory_order_release);
-  for (std::thread& t : threads) t.join();
 
-  // First error by worker index: deterministic, like the thread pool.
-  for (auto& lane : lanes)
-    if (lane->error != nullptr) std::rethrow_exception(lane->error);
+  {
+    std::unique_lock<std::mutex> l(done_->m);
+    done_->cv.wait(l, [this, total] {
+      return done_->bursts.load(std::memory_order_acquire) == total;
+    });
+  }
+
+  // First error by worker index: deterministic, like run_bursts. Task
+  // errors are cleared so the pool stays usable; a lane whose factory threw
+  // never got a task, so its error is permanent.
+  std::exception_ptr first;
+  for (auto& lane : lanes_) {
+    if (lane->error != nullptr && first == nullptr) first = lane->error;
+    if (!lane->factory_failed) lane->error = nullptr;
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+void run_bursts(std::size_t count, const BurstOptions& options,
+                const BurstTaskFactory& factory) {
+  if (count == 0) return;
+  const std::size_t workers = options.workers == 0 ? 1 : options.workers;
+  const std::size_t burst = options.burst == 0 ? kDefaultBurst : options.burst;
+
+  if (workers == 1) {
+    const BurstTask task = factory(0);
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  // One-shot: a temporary pool scoped to this call. Spawning here is what
+  // run_bursts always did; callers with a steady cadence of small batches
+  // hold a BurstPool instead.
+  BurstPool pool(workers, factory, options.ring_capacity);
+  pool.run(count, burst);
 }
 
 }  // namespace ftspan

@@ -27,6 +27,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
 
 namespace ftspan {
 
@@ -50,7 +53,54 @@ using BurstTaskFactory = std::function<BurstTask(std::size_t worker)>;
 
 /// Runs task(i) for every i in [0, count) across options.workers workers.
 /// With workers == 1 this is a plain inline loop (no threads, no rings).
+/// With more it stands up a temporary BurstPool (below) for the call.
 void run_bursts(std::size_t count, const BurstOptions& options,
                 const BurstTaskFactory& factory);
+
+/// BurstPool — the persistent form of run_bursts (dataplane phase 2).
+///
+/// run_bursts spawns and joins its workers on every call, which is fine for
+/// one-shot fan-outs (a conversion, an oracle check) but wrong for a server
+/// answering query batches at a steady cadence: thread creation would
+/// dominate small batches. A BurstPool keeps the worker lanes alive across
+/// run() calls — workers block on a per-lane condition variable while idle
+/// (no spinning between batches) and drain their SPSC ring exactly like the
+/// one-shot path while a run is in flight.
+///
+/// Contracts carried over from run_bursts:
+///   - the factory runs once per worker, on that worker's own thread;
+///   - distribution is deterministic (burst b -> worker b % workers);
+///   - a worker that throws abandons the rest of its feed but keeps
+///     draining, and run() rethrows the lowest-indexed worker's exception
+///     (after which the pool is usable again — the error slot is cleared).
+///
+/// One coordinator thread at a time: run() calls must not overlap.
+class BurstPool {
+ public:
+  /// Spawns `workers` (>= 1) lanes; the factory is invoked on each worker
+  /// thread before its first burst. A factory that throws poisons the lane:
+  /// its bursts are drained unrun and the next run() rethrows.
+  BurstPool(std::size_t workers, BurstTaskFactory factory,
+            std::size_t ring_capacity = 64);
+  ~BurstPool();  ///< joins all workers
+
+  BurstPool(const BurstPool&) = delete;
+  BurstPool& operator=(const BurstPool&) = delete;
+
+  std::size_t workers() const { return lanes_.size(); }
+
+  /// Runs task(i) for every i in [0, count), `burst` indices per hand-off
+  /// (0 = kDefaultBurst). Blocks until every burst has been processed.
+  void run(std::size_t count, std::size_t burst = 0);
+
+ private:
+  struct Lane;
+  struct Completion;
+  void feed(Lane& lane, std::size_t begin, std::size_t end);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<Completion> done_;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace ftspan

@@ -5,6 +5,7 @@
 
 #include "ftspanner/edge_faults.hpp"
 #include "runner/workloads.hpp"
+#include "serve/loadtest.hpp"
 #include "util/mem.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -139,6 +140,36 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
 
             const Graph h = g.edge_subgraph(result.edges);
             validate_cell(spec, g, h, algo.model, cell);
+
+            // workload=serve with a load phase: stand the daemon up over
+            // the spanner just built and drive it. Gated on timings like
+            // every other wall-clock metric, so timings=off JSON stays
+            // bit-identical across hosts and thread counts.
+            if (spec.workload == "serve" && spec.duration > 0 &&
+                spec.timings) {
+              serve::QueryEngine::Options qo;
+              qo.workers = threads;
+              qo.batch = spec.batch;
+              qo.engine = ap.engine;
+              serve::QueryEngine engine(g, result.edges, cell.k, qo);
+              serve::LoadTestOptions lo;
+              lo.qps = spec.qps;
+              lo.conns = spec.conns;
+              lo.duration = spec.duration;
+              lo.seed = spec.seed;
+              const serve::LoadTestResult lt = run_load_test(engine, lo);
+              cell.load.ran = true;
+              cell.load.requests = lt.requests;
+              cell.load.errors = lt.errors;
+              cell.load.seconds = lt.seconds;
+              cell.load.qps = lt.achieved_qps;
+              cell.load.p50_ms = lt.p50_ms;
+              cell.load.p99_ms = lt.p99_ms;
+              cell.load.cache_hits = lt.cache_hits;
+              cell.load.cache_misses = lt.cache_misses;
+              cell.load.cache_hit_rate = lt.cache_hit_rate;
+            }
+
             cell.peak_rss = peak_rss_bytes();
             report.cells.push_back(std::move(cell));
           }
@@ -286,6 +317,24 @@ void json_cell(const ScenarioCell& c, bool timings, std::ostream& os,
     // Machine-dependent like the clocks, so it lives (and dies) with them:
     // timings=off keeps the JSON bit-identical across hosts.
     os << ",\n" << in << "\"peak_rss_bytes\": " << c.peak_rss;
+    if (c.load.ran) {
+      os << ",\n" << in << "\"load\": {";
+      os << "\"requests\": " << c.load.requests;
+      os << ", \"errors\": " << c.load.errors;
+      os << ", \"seconds\": ";
+      json_number(c.load.seconds, os);
+      os << ", \"qps\": ";
+      json_number(c.load.qps, os);
+      os << ", \"p50_ms\": ";
+      json_number(c.load.p50_ms, os);
+      os << ", \"p99_ms\": ";
+      json_number(c.load.p99_ms, os);
+      os << ", \"cache_hits\": " << c.load.cache_hits;
+      os << ", \"cache_misses\": " << c.load.cache_misses;
+      os << ", \"cache_hit_rate\": ";
+      json_number(c.load.cache_hit_rate, os);
+      os << "}";
+    }
   }
   os << "\n" << indent << "}";
 }
@@ -362,9 +411,18 @@ Registry<ScenarioPreset> build_presets() {
            "workload=gnp n=400 p=0.05 wseed=1 algo=greedy k=3 r=2 seed=1 "
            "reps=1 validate=sampled trials=12 adversarial=0 vseed=1"});
 
+  // Deliberately NOT named smoke_<algo>: the CI scenario-smoke job globs
+  // that prefix and compares goldens, which a wall-clock load test can
+  // never satisfy. The serve-smoke CI job runs this preset explicitly.
+  reg.add("serve_smoke",
+          {"serve daemon load test: ft_vertex spanner of a tiny gnp, "
+           "0.3 s closed loop over 2 connections",
+           "workload=serve n=48 p=0.3 conns=2 duration=0.3 wseed=2 "
+           "algo=ft_vertex k=3 r=1 seed=3 threads=2 reps=1 validate=none"});
+
   reg.add("quick",
           {"small demo sweep: ft_vertex over gnp at n={64,128}, r={1,2}",
-           "workload=gnp n=64,128 wseed=1 algo=ft_vertex k=3 r=1,2 c=0.25 "
+           "workload=gnp n=64,128 wseed=1 algo=ft_vertex k=3 r=1,2 "
            "seed=7 reps=1 validate=sampled trials=10 adversarial=10 vseed=5"});
 
   return reg;

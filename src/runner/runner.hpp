@@ -59,6 +59,24 @@ struct ScenarioCell {
   /// an upper bound on the cell's footprint, monotone across cells.
   std::size_t peak_rss = 0;
 
+  /// workload=serve load-test metrics (serve/loadtest.hpp). Machine-
+  /// dependent like the clocks, so the emitters put them inside the
+  /// timings-gated block; `ran` is false when no load phase ran (duration=0
+  /// or timings=off).
+  struct LoadStats {
+    bool ran = false;
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    double seconds = 0;
+    double qps = 0;
+    double p50_ms = 0;
+    double p99_ms = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    double cache_hit_rate = 0;
+  };
+  LoadStats load;
+
   /// Value of a named stat, or `dflt` when the algorithm did not emit it.
   double stat(const std::string& name, double dflt = 0) const;
 };

@@ -63,6 +63,18 @@ std::vector<std::string> split(const std::string& s, char sep) {
                               "' for key '" + key + "'");
 }
 
+/// Specs are whitespace-tokenized, so a path containing whitespace cannot
+/// survive a to_string -> parse round trip (the splitter would truncate it
+/// into a different spec or a bogus key). Reject it loudly at both ends
+/// instead of silently corrupting the spec.
+void check_path(const std::string& path) {
+  if (path.find_first_of(" \t\n\r") != std::string::npos)
+    throw std::invalid_argument(
+        "scenario spec: path '" + path +
+        "' contains whitespace, which the whitespace-tokenized spec grammar "
+        "cannot represent");
+}
+
 double parse_double(const std::string& key, const std::string& value) {
   char* end = nullptr;
   const double v = std::strtod(value.c_str(), &end);
@@ -108,10 +120,16 @@ std::vector<double> parse_double_list(const std::string& key,
 std::string ScenarioSpec::to_string() const {
   std::ostringstream os;
   os << "workload=" << workload;
-  if (!path.empty()) os << " path=" << path;
+  if (!path.empty()) {
+    check_path(path);
+    os << " path=" << path;
+  }
   if (!n.empty()) os << " n=" << join_sizes(n);
   if (p >= 0) os << " p=" << format_double(p);
   if (scale != 1.0) os << " scale=" << format_double(scale);
+  if (qps != 0) os << " qps=" << format_double(qps);
+  if (conns != 1) os << " conns=" << conns;
+  if (duration != 0) os << " duration=" << format_double(duration);
   os << " wseed=" << wseed;
   os << " algo=" << algo;
   os << " k=" << join_doubles(k);
@@ -149,13 +167,29 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     if (key == "workload") {
       spec.workload = value;
     } else if (key == "path") {
+      check_path(value);
       spec.path = value;
     } else if (key == "n") {
       spec.n = parse_size_list(key, value);
     } else if (key == "p") {
+      // Density knobs are probabilities; nan fails both comparisons.
       spec.p = parse_double(key, value);
+      if (!(spec.p >= 0.0 && spec.p <= 1.0)) bad_value(key, value);
     } else if (key == "scale") {
       spec.scale = parse_double(key, value);
+      if (!(spec.scale > 0.0) || !std::isfinite(spec.scale))
+        bad_value(key, value);
+    } else if (key == "qps") {
+      spec.qps = parse_double(key, value);
+      if (!(spec.qps >= 0.0) || !std::isfinite(spec.qps))
+        bad_value(key, value);
+    } else if (key == "conns") {
+      spec.conns = static_cast<std::size_t>(parse_u64(key, value));
+      if (spec.conns == 0) bad_value(key, value);
+    } else if (key == "duration") {
+      spec.duration = parse_double(key, value);
+      if (!(spec.duration >= 0.0) || !std::isfinite(spec.duration))
+        bad_value(key, value);
     } else if (key == "wseed") {
       spec.wseed = parse_u64(key, value);
     } else if (key == "algo") {
@@ -163,11 +197,18 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else if (key == "k") {
       spec.k = parse_double_list(key, value);
       if (spec.k.empty()) bad_value(key, value);
+      // A stretch below 1 is meaningless (and nan poisons the iteration
+      // formula); every sweep entry must be a finite k >= 1.
+      for (const double k : spec.k)
+        if (!(k >= 1.0) || !std::isfinite(k)) bad_value(key, value);
     } else if (key == "r") {
       spec.r = parse_size_list(key, value);
       if (spec.r.empty()) bad_value(key, value);
     } else if (key == "c") {
+      // The conversion's correctness argument needs at least the proof
+      // constant's shape: c < 1 silently undershoots the iteration count.
       spec.c = parse_double(key, value);
+      if (!(spec.c >= 1.0) || !std::isfinite(spec.c)) bad_value(key, value);
     } else if (key == "iters") {
       spec.iters = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "seed") {
@@ -199,9 +240,9 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else {
       throw std::invalid_argument(
           "scenario spec: unknown key '" + key +
-          "'; valid keys: workload path n p scale wseed algo k r c iters seed "
-          "threads engine batch reps validate trials adversarial vseed "
-          "timings");
+          "'; valid keys: workload path n p scale qps conns duration wseed "
+          "algo k r c iters seed threads engine batch reps validate trials "
+          "adversarial vseed timings");
     }
   }
   return spec;

@@ -32,6 +32,11 @@ struct ScenarioSpec {
   double scale = 1.0;          ///< workload scale factor
   std::uint64_t wseed = 1;     ///< workload RNG seed
 
+  // --- serve load test (workload=serve only; see docs/SERVE.md) ---
+  double qps = 0;          ///< paced request rate; 0 = closed loop, unpaced
+  std::size_t conns = 1;   ///< concurrent client connections
+  double duration = 0;     ///< load-test seconds; 0 = no load phase
+
   // --- algorithm ---
   std::string algo = "ft_vertex";
   std::vector<double> k = {3.0};       ///< stretch sweep

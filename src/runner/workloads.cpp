@@ -151,6 +151,26 @@ Registry<Workload> build_registry() {
              return WorkloadInstance{std::move(g), os.str()};
            }});
 
+  reg.add("serve",
+          {"daemon load-test graph: path= if given (like 'file'), else "
+           "G(n, p) with n defaulting to 200; drive with qps/conns/duration",
+           [](const WorkloadParams& wp) {
+             if (!wp.path.empty()) {
+               Graph g = load_graph_any(wp.path);
+               std::ostringstream os;
+               os << "path=" << wp.path << " n=" << g.num_vertices()
+                  << " m=" << g.num_edges();
+               return WorkloadInstance{std::move(g), os.str()};
+             }
+             const std::size_t n = scaled(wp.n ? wp.n : 200, wp.scale, 12);
+             const double p =
+                 wp.p < 0 ? std::min(1.0, 10.0 / static_cast<double>(n))
+                          : wp.p;
+             std::ostringstream os;
+             os << "n=" << n << " p=" << p;
+             return WorkloadInstance{gnp(n, p, wp.seed), os.str()};
+           }});
+
   return reg;
 }
 

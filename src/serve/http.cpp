@@ -1,0 +1,214 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ftspan::serve {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// The reason phrases for every status the daemon emits.
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Splits "a=b&c=d" into decoded (key, value) pairs. False on a malformed
+/// percent escape anywhere.
+bool parse_query(std::string_view query,
+                 std::vector<std::pair<std::string, std::string>>& out) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query.remove_prefix(amp == std::string_view::npos ? query.size()
+                                                      : amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    std::string key, value;
+    if (eq == std::string_view::npos) {
+      if (!percent_decode(pair, key)) return false;
+    } else {
+      if (!percent_decode(pair.substr(0, eq), key)) return false;
+      if (!percent_decode(pair.substr(eq + 1), value)) return false;
+    }
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::param(std::string_view name,
+                               std::string_view dflt) const {
+  for (const auto& [key, value] : params)
+    if (key == name) return value;
+  return std::string(dflt);
+}
+
+bool HttpRequest::has_param(std::string_view name) const {
+  for (const auto& [key, value] : params)
+    if (key == name) return true;
+  return false;
+}
+
+bool percent_decode(std::string_view in, std::string& out) {
+  out.clear();
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= in.size()) return false;
+      const int hi = hex_digit(in[i + 1]);
+      const int lo = hex_digit(in[i + 2]);
+      if (hi < 0 || lo < 0) return false;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return true;
+}
+
+HttpParseStatus parse_http_request(std::string_view buf,
+                                   std::size_t max_bytes, HttpRequest& out,
+                                   std::size_t& consumed) {
+  // Find the end of the header block first; until it arrives the only
+  // decision is "need more" vs "already too large".
+  const std::size_t header_end = buf.find("\r\n\r\n");
+  if (header_end == std::string_view::npos)
+    return buf.size() > max_bytes ? HttpParseStatus::kTooLarge
+                                  : HttpParseStatus::kNeedMore;
+  if (header_end + 4 > max_bytes) return HttpParseStatus::kTooLarge;
+
+  const std::string_view head = buf.substr(0, header_end);
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1)
+    return HttpParseStatus::kBad;
+  const std::string_view method = request_line.substr(0, sp1);
+  const std::string_view target =
+      request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0")
+    return HttpParseStatus::kBad;
+  for (const char c : method)
+    if (!std::isupper(static_cast<unsigned char>(c)))
+      return HttpParseStatus::kBad;
+  if (target.empty() || target[0] != '/') return HttpParseStatus::kBad;
+
+  out = HttpRequest{};
+  out.method = std::string(method);
+  out.keep_alive = version == "HTTP/1.1";  // 1.0 defaults to close
+
+  // Headers: the daemon only interprets Content-Length and Connection, but
+  // every line must still be well-formed.
+  std::size_t content_length = 0;
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find("\r\n");
+    const std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 2);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return HttpParseStatus::kBad;
+    const std::string_view name = line.substr(0, colon);
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (iequals(name, "content-length")) {
+      content_length = 0;
+      if (value.empty()) return HttpParseStatus::kBad;
+      for (const char c : value) {
+        if (c < '0' || c > '9') return HttpParseStatus::kBad;
+        content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+        if (content_length > max_bytes) return HttpParseStatus::kTooLarge;
+      }
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close")) out.keep_alive = false;
+      if (iequals(value, "keep-alive")) out.keep_alive = true;
+    }
+  }
+
+  const std::size_t total = header_end + 4 + content_length;
+  if (total > max_bytes) return HttpParseStatus::kTooLarge;
+  if (buf.size() < total) return HttpParseStatus::kNeedMore;
+  out.body = std::string(buf.substr(header_end + 4, content_length));
+
+  // Split the target into path + decoded query parameters.
+  const std::size_t q = target.find('?');
+  const std::string_view raw_path =
+      q == std::string_view::npos ? target : target.substr(0, q);
+  if (!percent_decode(raw_path, out.path)) return HttpParseStatus::kBad;
+  if (q != std::string_view::npos &&
+      !parse_query(target.substr(q + 1), out.params))
+    return HttpParseStatus::kBad;
+
+  consumed = total;
+  return HttpParseStatus::kOk;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace ftspan::serve

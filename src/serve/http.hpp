@@ -1,0 +1,59 @@
+// Minimal dependency-free HTTP/1.1 message handling for the query daemon.
+//
+// The parser is *incremental*: the connection state machine feeds it the
+// bytes received so far and it answers "need more", "here is one complete
+// request (and how many bytes it consumed)", "malformed", or "too large".
+// Pipelined requests simply leave bytes behind for the next call. Only the
+// subset the daemon speaks is implemented — request line + headers +
+// optional Content-Length body, percent-decoded query parameters,
+// keep-alive negotiation — with hard size limits enforced *during* parsing
+// so an attacker cannot make the server buffer an unbounded request.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ftspan::serve {
+
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET" (never empty on kOk)
+  std::string path;     ///< decoded target path, e.g. "/distance"
+  /// Query parameters in order of appearance, percent-decoded.
+  std::vector<std::pair<std::string, std::string>> params;
+  bool keep_alive = true;  ///< HTTP/1.1 default on; "Connection: close" off
+  std::string body;        ///< Content-Length bytes (possibly empty)
+
+  /// First value of a named parameter, or `dflt` when absent.
+  std::string param(std::string_view name, std::string_view dflt = "") const;
+  bool has_param(std::string_view name) const;
+};
+
+enum class HttpParseStatus {
+  kNeedMore,  ///< `buf` holds a prefix of a valid request — read more bytes
+  kOk,        ///< one complete request parsed; `consumed` bytes eaten
+  kBad,       ///< malformed — answer 400 and close
+  kTooLarge,  ///< header block or body exceeds the limit — 413 and close
+};
+
+/// Parses the first request in `buf`. On kOk, `out` is filled and
+/// `consumed` is the byte count of the request (start the next parse at
+/// buf.substr(consumed)). `max_bytes` bounds the whole request, header
+/// block and body together.
+HttpParseStatus parse_http_request(std::string_view buf,
+                                   std::size_t max_bytes, HttpRequest& out,
+                                   std::size_t& consumed);
+
+/// Serializes one response with Content-Length and Connection headers.
+/// `status` is the numeric code (200, 400, ...); the reason phrase is
+/// derived from it.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive);
+
+/// Percent-decodes `in` ('+' becomes a space). False on a malformed escape
+/// (e.g. "%2" or "%zz"); `out` is unspecified then.
+bool percent_decode(std::string_view in, std::string& out);
+
+}  // namespace ftspan::serve

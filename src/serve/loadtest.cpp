@@ -1,0 +1,242 @@
+#include "serve/loadtest.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace ftspan::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A blocking loopback client speaking just enough HTTP/1.1 to measure the
+/// daemon: send one GET, read status line + headers + Content-Length body.
+class Client {
+ public:
+  Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("loadtest: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw std::runtime_error("loadtest: connect() failed");
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips one request. Returns the HTTP status, or 0 on transport
+  /// failure.
+  int round_trip(const std::string& target) {
+    const std::string req =
+        "GET " + target + " HTTP/1.1\r\nHost: l\r\n\r\n";
+    if (!send_all(req)) return 0;
+
+    // Read up to the blank line, then Content-Length more bytes.
+    std::size_t header_end;
+    while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos)
+      if (!recv_some()) return 0;
+    std::size_t content_length = 0;
+    const std::size_t cl = buf_.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      for (std::size_t i = cl + 16; i < header_end && buf_[i] >= '0' &&
+                                    buf_[i] <= '9';
+           ++i)
+        content_length = content_length * 10 +
+                         static_cast<std::size_t>(buf_[i] - '0');
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    while (buf_.size() < total)
+      if (!recv_some()) return 0;
+
+    int status = 0;
+    const std::size_t sp = buf_.find(' ');
+    if (sp != std::string::npos)
+      for (std::size_t i = sp + 1; i < buf_.size() && buf_[i] >= '0' &&
+                                   buf_[i] <= '9';
+           ++i)
+        status = status * 10 + (buf_[i] - '0');
+    buf_.erase(0, total);  // keep-alive: leftovers belong to the next reply
+    return status;
+  }
+
+ private:
+  bool send_all(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  bool recv_some() {
+    char tmp[4096];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// The query mix: ~60% plain distance, ~25% stretch, ~15% fault what-if
+/// (distance avoiding one or two random vertices). Entirely seed-driven.
+std::string random_target(Rng& rng, std::size_t n) {
+  const auto v = [&] { return std::to_string(rng.uniform_index(n)); };
+  const double roll = rng.uniform();
+  if (roll < 0.60) return "/distance?s=" + v() + "&t=" + v();
+  if (roll < 0.85) return "/stretch?s=" + v() + "&t=" + v();
+  std::string target = "/distance?s=" + v() + "&t=" + v() + "&avoid=" + v();
+  if (rng.bernoulli(0.5)) target += "," + v();
+  return target;
+}
+
+struct ClientTally {
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+void client_main(std::uint16_t port, std::size_t n, std::uint64_t seed,
+                 double deadline_s, std::uint64_t paced_count,
+                 double interval_s, ClientTally& tally) {
+  try {
+    Client client(port);
+    Rng rng(seed);
+    const Clock::time_point start = Clock::now();
+    const auto elapsed = [&] {
+      return std::chrono::duration<double>(Clock::now() - start).count();
+    };
+    std::uint64_t sent = 0;
+    for (;;) {
+      if (paced_count > 0) {
+        if (sent == paced_count) break;
+        // Pace against the schedule, not the previous response, so a slow
+        // reply doesn't silently lower the offered rate.
+        const double due = static_cast<double>(sent) * interval_s;
+        const double now = elapsed();
+        if (due > now)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(due - now));
+      } else if (elapsed() >= deadline_s) {
+        break;
+      }
+      const std::string target = random_target(rng, n);
+      const Clock::time_point t0 = Clock::now();
+      const int status = client.round_trip(target);
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count();
+      ++sent;
+      if (status == 200) {
+        ++tally.ok;
+        tally.latencies_ms.push_back(ms);
+      } else {
+        ++tally.errors;
+        if (status == 0) break;  // transport gone; stop this client
+      }
+    }
+  } catch (...) {
+    ++tally.errors;
+  }
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t i = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LoadTestResult run_load_test(QueryEngine& engine,
+                             const LoadTestOptions& options) {
+  const std::size_t conns = options.conns == 0 ? 1 : options.conns;
+
+  ServeOptions so;
+  so.max_connections = conns + 4;
+  ServeDaemon daemon(engine, so);
+  daemon.listen();
+  std::thread server([&daemon] { daemon.run(); });
+
+  // Paced mode: split a fixed request count across clients; each client
+  // paces its share on its own schedule.
+  std::uint64_t paced_total = 0;
+  double interval_s = 0;
+  if (options.qps > 0) {
+    paced_total = static_cast<std::uint64_t>(
+        std::max(1.0, std::llround(options.qps * options.duration) * 1.0));
+    interval_s = static_cast<double>(conns) / options.qps;
+  }
+
+  std::vector<ClientTally> tallies(conns);
+  std::vector<std::thread> clients;
+  clients.reserve(conns);
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t c = 0; c < conns; ++c) {
+    const std::uint64_t share =
+        paced_total == 0 ? 0 : paced_total / conns + (c < paced_total % conns);
+    clients.emplace_back(client_main, daemon.port(),
+                         engine.num_vertices(),
+                         hash_combine(options.seed, c), options.duration,
+                         share, interval_s, std::ref(tallies[c]));
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  daemon.stop();
+  server.join();
+
+  LoadTestResult result;
+  result.seconds = seconds;
+  std::vector<double> all;
+  for (ClientTally& tally : tallies) {
+    result.requests += tally.ok;
+    result.errors += tally.errors;
+    all.insert(all.end(), tally.latencies_ms.begin(),
+               tally.latencies_ms.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ms = quantile(all, 0.50);
+  result.p99_ms = quantile(all, 0.99);
+  result.achieved_qps =
+      seconds > 0 ? static_cast<double>(result.requests) / seconds : 0;
+  const auto& cache = engine.cache_stats();
+  result.cache_hits = cache.hits;
+  result.cache_misses = cache.misses;
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  result.cache_hit_rate =
+      lookups == 0 ? 0
+                   : static_cast<double>(cache.hits) /
+                         static_cast<double>(lookups);
+  return result;
+}
+
+}  // namespace ftspan::serve

@@ -1,0 +1,47 @@
+// In-process load test for the serve daemon — the engine behind the
+// `workload=serve qps=… conns=… duration=…` scenario.
+//
+// Spins the daemon up on an ephemeral loopback port in a background thread,
+// drives it with `conns` client threads over real TCP (so the full
+// socket/parse/batch/respond path is measured, not just the query engine),
+// and reports latency quantiles plus the engine's cache counters. With
+// qps > 0 the clients pace a fixed request count (open-ish loop: a late
+// response delays only its own connection); with qps == 0 they run closed
+// loop, back-to-back, for the full duration. The query mix and all client
+// randomness derive from the seed, so the *request streams* are
+// reproducible — the latencies of course are not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/query.hpp"
+
+namespace ftspan::serve {
+
+struct LoadTestOptions {
+  double qps = 0;           ///< total paced rate; 0 = closed loop
+  std::size_t conns = 1;    ///< client connections (threads)
+  double duration = 0.25;   ///< seconds (paced: target span; closed: deadline)
+  std::uint64_t seed = 1;   ///< drives every client's query stream
+};
+
+struct LoadTestResult {
+  std::uint64_t requests = 0;  ///< responses received with status 200
+  std::uint64_t errors = 0;    ///< non-200 responses or transport failures
+  double seconds = 0;          ///< wall clock, first send to last response
+  double achieved_qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0;
+};
+
+/// Runs the daemon + clients against `engine` (which must be idle: the
+/// daemon becomes its single coordinator for the duration). Throws
+/// std::runtime_error if the daemon cannot bind.
+LoadTestResult run_load_test(QueryEngine& engine,
+                             const LoadTestOptions& options);
+
+}  // namespace ftspan::serve

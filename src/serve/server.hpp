@@ -1,0 +1,111 @@
+// ServeDaemon — the `ftspan serve` HTTP/JSON front end.
+//
+// One thread, one poll() loop, no third-party dependencies: a listening
+// socket plus per-connection state machines (nonblocking reads into a
+// growth-capped buffer, the incremental parser from serve/http.hpp, a
+// pending-write buffer drained on POLLOUT). All complete requests found in
+// one poll round are answered through a single QueryEngine::answer_batch
+// call, so the worker lanes see batches, not single queries, and responses
+// still go out in per-connection request order (pipelining-safe).
+//
+// Endpoints (GET only):
+//   /distance?s=S&t=T[&avoid=LIST]  spanner distance d_{H\F}(s, t)
+//   /stretch?s=S&t=T[&avoid=LIST]   adds base d_{G\F}(s, t) and the ratio
+//   /stats                          counters: qps, cache hit rate, peak RSS
+//   /healthz                        liveness probe
+// where LIST is comma-separated faults: `7` avoids vertex 7, `3-5` avoids
+// edge {3, 5}.
+//
+// Shutdown: stop() is async-signal-safe (one write to a self-pipe), so a
+// SIGINT/SIGTERM handler can call it; the loop then flushes nothing further
+// and run() returns after closing every fd.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace ftspan::serve {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound one via port()
+  std::size_t max_connections = 64;   ///< beyond this, accept + 503 + close
+  std::size_t max_request_bytes = 16384;  ///< request line + headers + body
+  int idle_timeout_ms = 5000;  ///< idle connections get 408 + close; <= 0 off
+};
+
+class ServeDaemon {
+ public:
+  /// The engine must outlive the daemon; answer_batch is only ever called
+  /// from the thread inside run() (the engine's single-coordinator
+  /// contract).
+  ServeDaemon(QueryEngine& engine, const ServeOptions& options = {});
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds and listens. Throws std::runtime_error on failure (port in use,
+  /// bad host). Separate from run() so callers learn the ephemeral port
+  /// before starting the loop.
+  void listen();
+
+  /// The bound port (valid after listen()).
+  std::uint16_t port() const { return port_; }
+
+  /// The event loop; returns after stop(). Call listen() first.
+  void run();
+
+  /// Requests shutdown. Async-signal-safe and callable from any thread.
+  void stop();
+
+  struct Stats {
+    std::uint64_t requests = 0;     ///< well-formed requests answered
+    std::uint64_t bad_requests = 0; ///< 400/404/405/413 responses
+    std::uint64_t connections = 0;  ///< total accepted
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Conn;
+
+  /// One parsed request awaiting its response bytes. Immediate outcomes
+  /// (errors, /stats, /healthz) carry the full response already; query
+  /// endpoints carry an index into the round's batch instead and are
+  /// resolved after answer_batch. Walking the actions in parse order keeps
+  /// pipelined responses in request order per connection.
+  struct Action {
+    std::size_t conn = 0;
+    std::size_t query_idx = static_cast<std::size_t>(-1);
+    bool want_stretch = false;
+    bool keep_alive = true;
+    std::string response;  ///< pre-resolved bytes when query_idx is unset
+  };
+
+  void accept_new();
+  void read_into(Conn& conn);
+  void process(std::size_t ci);
+  void flush(Conn& conn);
+  std::string handle_stats(double uptime_seconds) const;
+
+  QueryEngine* engine_;
+  ServeOptions options_;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written by stop()
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  Stats stats_;
+
+  // Per-round scratch (members so the buffers persist across rounds).
+  std::vector<ServeQuery> batch_queries_;
+  std::vector<ServeAnswer> batch_answers_;
+  std::vector<Action> actions_;
+  double uptime_seconds_ = 0;  ///< refreshed each round for /stats
+};
+
+}  // namespace ftspan::serve

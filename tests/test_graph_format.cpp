@@ -483,6 +483,20 @@ TEST(GraphImport, RejectsNegativeWeight) {
                       {"line 2", "negative"});
 }
 
+TEST(GraphImport, RejectsSignedIntegerFields) {
+  // strtoull quietly accepts a leading '+'; the grammar is unsigned decimals
+  // only (matching the scenario parser's parse_u64, which rejects both
+  // signs). '-' keeps its dedicated "is negative" message.
+  expect_import_error("p sp 3 2\na +1 2 1\na 2 3 1\n", ImportFormat::kDimacs,
+                      {"line 2", "endpoint", "sign"});
+  expect_import_error("p sp +3 2\na 1 2 1\na 2 3 1\n", ImportFormat::kDimacs,
+                      {"line 1", "vertex count", "sign"});
+  expect_import_error("3 2 u\n+0 1 1\n1 2 1\n", ImportFormat::kEdgeList,
+                      {"line 2", "endpoint", "sign"});
+  expect_import_error("3 1 u\n0 -1 1\n", ImportFormat::kEdgeList,
+                      {"line 2", "endpoint", "negative"});
+}
+
 TEST(GraphImport, RejectsCountOverflow) {
   expect_import_error("p sp 4294967296 1\na 1 2 1\n", ImportFormat::kDimacs,
                       {"line 1", "vertex count", "overflows"});

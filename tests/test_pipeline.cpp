@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ftspanner/parallel.hpp"
+#include "serve/query.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace {
@@ -117,6 +118,85 @@ TEST(SpscRing, ConcurrentProducerConsumerDeliversInOrder) {
 
   for (std::uint64_t i = 0; i < kCount; ++i)
     while (!ring.try_push(i)) std::this_thread::yield();
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// The degenerate geometry: one slot. Full after one push, empty after one
+// pop — the boundary where an off-by-one in the masked positions would make
+// full and empty indistinguishable.
+TEST(SpscRing, CapacityOneAlternatesFullAndEmpty) {
+  SpscRing<int> ring(1);
+  ASSERT_EQ(ring.capacity(), 1u);
+  int out = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ring.empty());
+    ASSERT_TRUE(ring.try_push(i));
+    EXPECT_FALSE(ring.empty());
+    EXPECT_FALSE(ring.try_push(-1));  // full at depth 1
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+    EXPECT_FALSE(ring.try_pop(out));
+  }
+}
+
+// empty() is consumer-side state plus one acquire load of the producer's
+// tail — safe to call while the producer is pushing. Run it hot against a
+// live producer so TSan can vet the claim; the only invariant it must hold
+// is "false implies try_pop succeeds" (from the single consumer's view,
+// non-empty cannot become empty without a pop).
+TEST(SpscRing, EmptyIsSafeAgainstAConcurrentProducer) {
+  constexpr std::uint64_t kCount = 100000;
+  SpscRing<std::uint64_t> ring(8);
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i)
+      while (!ring.try_push(i)) std::this_thread::yield();
+  });
+
+  std::uint64_t expect = 0, v = 0;
+  while (expect < kCount) {
+    if (ring.empty()) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_TRUE(ring.try_pop(v));  // non-empty must imply a poppable item
+    ASSERT_EQ(v, expect);
+    ++expect;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// The serve daemon's request/response payloads ride rings between the event
+// loop and the worker lanes; pin that the non-trivial types (heap-owning
+// vectors) move through a ring intact under the real two-thread contract.
+TEST(SpscRing, CarriesServeQueryPayloadsAcrossThreads) {
+  constexpr std::uint64_t kCount = 20000;
+  SpscRing<serve::ServeQuery> ring(4);
+  std::atomic<bool> failed{false};
+
+  std::thread consumer([&] {
+    serve::ServeQuery q;
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.try_pop(q)) std::this_thread::yield();
+      const auto v = static_cast<Vertex>(i % 97);
+      if (q.s != v || q.t != v + 1 || q.avoid_vertices.size() != i % 3 ||
+          q.avoid_edges.size() != i % 2) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    serve::ServeQuery q;
+    q.s = static_cast<Vertex>(i % 97);
+    q.t = q.s + 1;
+    q.avoid_vertices.assign(i % 3, q.s);
+    q.avoid_edges.assign(i % 2, {q.s, q.t});
+    while (!ring.try_push(q)) std::this_thread::yield();
+  }
   consumer.join();
   EXPECT_FALSE(failed.load());
 }
@@ -234,6 +314,86 @@ TEST(RunBursts, SingleWorkerInnerLoopIsAllocationFree) {
   // The one allowance: materializing the returned BurstTask (a
   // std::function) may allocate once outside the loop.
   EXPECT_LE(after - before, 1u);
+}
+
+// --- BurstPool -----------------------------------------------------------
+
+// The persistent pool must behave exactly like run_bursts call after call:
+// the factory runs once per worker (not once per run), and every run covers
+// its indices exactly once.
+TEST(BurstPool, ReusesLanesAcrossRuns) {
+  constexpr std::size_t kWorkers = 3;
+  std::atomic<std::size_t> factory_calls{0};
+  std::vector<std::atomic<int>> hits(257);
+  BurstPool pool(kWorkers, [&](std::size_t) -> BurstTask {
+    factory_calls.fetch_add(1, std::memory_order_relaxed);
+    return [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    };
+  });
+  EXPECT_EQ(pool.workers(), kWorkers);
+
+  const std::size_t counts[] = {1, 64, 257, 7, 0, 100};
+  int rounds = 0;
+  for (const std::size_t count : counts) {
+    for (auto& h : hits) h.store(0);
+    pool.run(count, /*burst=*/3);
+    ++rounds;
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), i < count ? 1 : 0)
+          << "round=" << rounds << " count=" << count << " i=" << i;
+  }
+  EXPECT_EQ(factory_calls.load(), kWorkers);
+}
+
+// A task exception poisons one run, not the pool: run() rethrows, then the
+// next run must succeed (the error slot is cleared).
+TEST(BurstPool, RecoversAfterATaskException) {
+  std::atomic<bool> armed{true};
+  std::atomic<std::size_t> done{0};
+  BurstPool pool(2, [&](std::size_t) -> BurstTask {
+    return [&](std::size_t i) {
+      if (armed.load(std::memory_order_relaxed) && i == 13)
+        throw std::runtime_error("boom");
+      done.fetch_add(1, std::memory_order_relaxed);
+    };
+  });
+  EXPECT_THROW(pool.run(100, 1), std::runtime_error);
+  armed.store(false);
+  done.store(0);
+  pool.run(100, 1);
+  EXPECT_EQ(done.load(), 100u);
+}
+
+// A factory that throws poisons its lane permanently: every run rethrows
+// (the lane never got a task), but runs still terminate — the lane drains
+// its feed without executing it.
+TEST(BurstPool, FactoryFailurePoisonsEveryRun) {
+  BurstPool pool(2, [](std::size_t w) -> BurstTask {
+    if (w == 1) throw std::runtime_error("factory boom");
+    return [](std::size_t) {};
+  });
+  EXPECT_THROW(pool.run(50, 1), std::runtime_error);
+  EXPECT_THROW(pool.run(50, 1), std::runtime_error);
+}
+
+// Same deterministic distribution as run_bursts: burst b -> worker
+// b % workers, stable across runs of the same pool.
+TEST(BurstPool, WorkerPinningMatchesRunBursts) {
+  constexpr std::size_t kCount = 96, kWorkers = 3, kBurst = 8;
+  std::vector<std::atomic<std::size_t>> ran_by(kCount);
+  BurstPool pool(kWorkers, [&ran_by](std::size_t w) -> BurstTask {
+    return [&ran_by, w](std::size_t i) {
+      ran_by[i].store(w, std::memory_order_relaxed);
+    };
+  });
+  for (int round = 0; round < 3; ++round) {
+    for (auto& r : ran_by) r.store(SIZE_MAX);
+    pool.run(kCount, kBurst);
+    for (std::size_t i = 0; i < kCount; ++i)
+      EXPECT_EQ(ran_by[i].load(), (i / kBurst) % kWorkers)
+          << "round=" << round << " i=" << i;
+  }
 }
 
 }  // namespace

@@ -92,7 +92,12 @@ TEST(ScenarioSpecTest, ParseToStringRoundTripsByteIdentically) {
       "threads=1,2,4,8 reps=2 validate=exact trials=40 adversarial=60 "
       "vseed=99",
       "workload=gnp n=128,256 p=0.09375 wseed=42 algo=ft_vertex k=3 r=1,2,4 "
-      "c=0.25 iters=48 seed=7 threads=1 reps=3 validate=none timings=off",
+      "c=1.25 iters=48 seed=7 threads=1 reps=3 validate=none timings=off",
+      // The serve load-test keys print between scale and wseed, and only
+      // when non-default.
+      "workload=serve n=48 qps=64 conns=4 duration=0.4 wseed=2 "
+      "algo=ft_vertex k=3 r=1 seed=3 threads=2 reps=1 validate=sampled "
+      "trials=5 adversarial=5 vseed=9",
       // engine/batch print between threads and reps; engine=auto and
       // batch=0 are the defaults and must stay invisible (first case above).
       "workload=gnp wseed=1 algo=ft_vertex k=3 r=2 seed=1 threads=2 "
@@ -139,6 +144,59 @@ TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
   }
 }
 
+TEST(ScenarioSpecTest, RejectsOutOfRangeNumericValues) {
+  // Range checks on the numeric keys: every case used to parse silently
+  // and flow a nonsense value into the generators/algorithms.
+  const char* bad[] = {
+      "p=nan",        "p=1.5",       "p=-0.5",       "p=inf",
+      "scale=0",      "scale=-2",    "scale=nan",    "scale=inf",
+      "c=0",          "c=0.99",      "c=-1",         "c=nan",
+      "k=0.5",        "k=0",         "k=nan",        "k=3,0.5",
+      "qps=-1",       "qps=nan",     "qps=inf",
+      "conns=0",      "duration=-1", "duration=nan", "duration=inf",
+  };
+  for (const char* text : bad) {
+    const std::string key(text, std::strchr(text, '=') - text);
+    try {
+      ScenarioSpec::parse(text);
+      FAIL() << "expected std::invalid_argument for \"" << text << "\"";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "message for \"" << text << "\" was: " << e.what();
+    }
+  }
+  // The boundary values themselves stay valid.
+  EXPECT_EQ(ScenarioSpec::parse("p=0").p, 0.0);
+  EXPECT_EQ(ScenarioSpec::parse("p=1").p, 1.0);
+  EXPECT_EQ(ScenarioSpec::parse("c=1").c, 1.0);
+  EXPECT_EQ(ScenarioSpec::parse("k=1").k, (std::vector<double>{1.0}));
+  EXPECT_EQ(ScenarioSpec::parse("qps=0").qps, 0.0);
+  EXPECT_EQ(ScenarioSpec::parse("conns=1").conns, 1u);
+  EXPECT_EQ(ScenarioSpec::parse("duration=0").duration, 0.0);
+}
+
+TEST(ScenarioSpecTest, RejectsWhitespaceInPath) {
+  // Specs are whitespace-tokenized: a path containing a space cannot
+  // round-trip through to_string/parse (the splitter would truncate it into
+  // a different spec), so both ends must reject it instead of corrupting
+  // the spec silently.
+  ScenarioSpec spec;
+  spec.workload = "file";
+  spec.path = "graphs/my graph.fgb";
+  try {
+    spec.to_string();
+    FAIL() << "expected std::invalid_argument for a path with whitespace";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("whitespace"), std::string::npos)
+        << e.what();
+  }
+  spec.path = "graphs/tab\tgraph.fgb";
+  EXPECT_THROW(spec.to_string(), std::invalid_argument);
+  // A whitespace-free path round-trips untouched.
+  spec.path = "graphs/clean.fgb";
+  EXPECT_EQ(ScenarioSpec::parse(spec.to_string()).path, spec.path);
+}
+
 TEST(ScenarioSpecTest, IntegerBoundaryValuesErrorWithTheKeyName) {
   // strtoull accepts out-of-range input by saturating (and sets ERANGE);
   // the parser must surface that as a hard error, not a silent clamp.
@@ -177,7 +235,7 @@ TEST(ScenarioSpecTest, FormatDoubleIsShortestRoundTrip) {
 
 TEST(ScenarioRunner, ExpandsSweepsInDocumentedOrder) {
   const ScenarioSpec spec = ScenarioSpec::parse(
-      "workload=gnp n=16,24 p=0.4 wseed=3 algo=ft_vertex k=3 r=1,2 c=0.25 "
+      "workload=gnp n=16,24 p=0.4 wseed=3 algo=ft_vertex k=3 r=1,2 "
       "seed=5 threads=1 reps=1 validate=none");
   const ScenarioReport report = runner::run_scenario(spec);
   ASSERT_EQ(report.cells.size(), 4u);  // n-major, then k, then r, then threads
@@ -193,7 +251,7 @@ TEST(ScenarioRunner, MatchesDirectLibraryCalls) {
   // The runner cell for ft_vertex must reproduce ft_greedy_spanner
   // bit-for-bit: same workload instance, same conversion, same edge set.
   const ScenarioSpec spec = ScenarioSpec::parse(
-      "workload=gnp n=48 p=0.2 wseed=11 algo=ft_vertex k=3 r=2 c=0.5 seed=13 "
+      "workload=gnp n=48 p=0.2 wseed=11 algo=ft_vertex k=3 r=2 c=1.5 seed=13 "
       "threads=1 reps=2 validate=exact trials=40 adversarial=60 vseed=99");
   const ScenarioReport report = runner::run_scenario(spec);
   ASSERT_EQ(report.cells.size(), 1u);
@@ -201,7 +259,7 @@ TEST(ScenarioRunner, MatchesDirectLibraryCalls) {
 
   const Graph g = gnp(48, 0.2, 11);
   ConversionOptions opt;
-  opt.iteration_constant = 0.5;
+  opt.iteration_constant = 1.5;
   const auto direct = ft_greedy_spanner(g, 3.0, 2, 13, opt);
   EXPECT_EQ(cell.m, g.num_edges());
   EXPECT_EQ(cell.edges, direct.edges.size());
@@ -246,7 +304,7 @@ TEST(ScenarioRunner, JsonIsBitIdenticalAcrossThreadCounts) {
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     std::ostringstream spec_text;
     spec_text << "workload=gnp n=60 p=0.2 wseed=3 algo=ft_vertex k=3 r=1,2 "
-                 "c=0.25 seed=5 threads="
+                 "c=1.5 seed=5 threads="
               << threads
               << " reps=2 validate=sampled trials=6 adversarial=6 vseed=9 "
                  "timings=off";

@@ -20,6 +20,7 @@
 // `--threads T` fans the conversion's sampling iterations across T worker
 // threads (0 = all hardware threads); the output edge set is bit-identical
 // to --threads 1 for the same seed (see src/ftspanner/parallel.hpp).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +41,8 @@
 #include "runner/runner.hpp"
 #include "runner/scenario.hpp"
 #include "runner/workloads.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
 #include "spanner/baswana_sen.hpp"
 #include "spanner/greedy.hpp"
 #include "spanner/thorup_zwick.hpp"
@@ -181,6 +184,23 @@ void print_usage(std::FILE* out) {
       "      bench --list                     list presets, workloads, algos\n"
       "      --format F       table (default) | csv | json\n"
       "      -o FILE          write the report to FILE instead of stdout\n"
+      "\n"
+      "  serve                precompute an FT spanner and answer distance /\n"
+      "                       stretch / fault-what-if queries over HTTP/JSON\n"
+      "                       (GET /distance?s=S&t=T[&avoid=L],\n"
+      "                       /stretch?s=S&t=T[&avoid=L], /stats, /healthz;\n"
+      "                       avoid L = comma list: 7 = vertex 7, 3-5 = edge)\n"
+      "      -i FILE          input graph (required)\n"
+      "      -k K             stretch, default 3\n"
+      "      -r R             fault tolerance, default 1\n"
+      "      -c CONST         conversion iteration constant, default 1\n"
+      "      --host H         bind address, default 127.0.0.1\n"
+      "      --port P         port; 0 picks an ephemeral one (printed),\n"
+      "                       default 8080\n"
+      "      --threads T      query worker lanes, default 1\n"
+      "      --cache N        answer-cache entries (0 disables), default 1024\n"
+      "      --seed S         RNG seed for the conversion, default 1\n"
+      "      SIGINT/SIGTERM stop the daemon gracefully.\n"
       "\n"
       "  version              print the build's git describe and build type\n"
       "  selftest             gen -> ft -> exact-verify round trip (ctest)\n"
@@ -483,7 +503,10 @@ int cmd_corpus(const Args& a) {
   wp.scale = a.num("scale", 0.25);
   wp.seed = static_cast<std::uint64_t>(a.num("seed", 1));
   for (const std::string& name : runner::workload_registry().names()) {
-    if (name == "file") continue;  // the one family that has no generator
+    // Skip the families that exist to consume external input (file) or to
+    // parameterize the daemon load test (serve) — neither is a generator
+    // family the corpus should snapshot.
+    if (name == "file" || name == "serve") continue;
     const runner::WorkloadInstance inst =
         runner::workload_registry().get(name).make(wp);
     const std::string path = dir + "/" + name + ".fgb";
@@ -492,6 +515,67 @@ int cmd_corpus(const Args& a) {
                 inst.params.c_str(), inst.g.num_vertices(),
                 inst.g.num_edges());
   }
+  return 0;
+}
+
+/// The running daemon, for the signal handlers: stop() is async-signal-safe
+/// (a single self-pipe write), so SIGINT/SIGTERM shut the loop down
+/// gracefully — flush, close, return from run() — instead of killing the
+/// process mid-response.
+serve::ServeDaemon* g_daemon = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+/// `serve` — precompute the FT spanner, then answer queries over HTTP.
+int cmd_serve(const Args& a) {
+  const std::string in = a.get("i");
+  if (in.empty()) return usage();
+  const Graph g = load_graph_any(in);
+  const double k = a.num("k", 3.0);
+  const std::size_t r = static_cast<std::size_t>(a.num("r", 1));
+  const std::size_t threads = static_cast<std::size_t>(a.num("threads", 1));
+
+  ConversionOptions copt;
+  copt.iteration_constant = a.num("c", 1.0);
+  copt.threads = threads;
+  const auto res = ft_greedy_spanner(
+      g, k, r, static_cast<std::uint64_t>(a.num("seed", 1)), copt);
+
+  serve::QueryEngine::Options qo;
+  qo.workers = threads == 0 ? 1 : threads;
+  qo.cache_capacity = static_cast<std::size_t>(a.num("cache", 1024));
+  serve::QueryEngine engine(g, res.edges, k, qo);
+
+  serve::ServeOptions so;
+  so.host = a.get("host", "127.0.0.1");
+  so.port = static_cast<std::uint16_t>(a.num("port", 8080));
+  serve::ServeDaemon daemon(engine, so);
+  daemon.listen();
+
+  g_daemon = &daemon;
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  std::printf("serving on %s:%u — n=%zu m=%zu spanner=%zu k=%g r=%zu "
+              "workers=%zu\n",
+              so.host.c_str(), daemon.port(), g.num_vertices(), g.num_edges(),
+              res.edges.size(), k, r, qo.workers);
+  std::printf("endpoints: /distance?s=S&t=T[&avoid=L]  /stretch?...  "
+              "/stats  /healthz  (SIGINT/SIGTERM to stop)\n");
+  std::fflush(stdout);  // scripts scrape the port line before querying
+
+  daemon.run();
+  g_daemon = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const serve::ServeDaemon::Stats& st = daemon.stats();
+  std::printf("stopped: %llu requests (%llu rejected), %llu connections\n",
+              (unsigned long long)st.requests,
+              (unsigned long long)st.bad_requests,
+              (unsigned long long)st.connections);
   return 0;
 }
 
@@ -615,6 +699,7 @@ int main(int argc, char** argv) {
     if (cmd == "import") return cmd_import(a);
     if (cmd == "info") return cmd_info(a);
     if (cmd == "corpus") return cmd_corpus(a);
+    if (cmd == "serve") return cmd_serve(a);
     if (cmd == "version") return cmd_version();
     if (cmd == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
