@@ -75,6 +75,15 @@ void run_bursts(std::size_t count, const BurstOptions& options,
 ///     (after which the pool is usable again — the error slot is cleared).
 ///
 /// One coordinator thread at a time: run() calls must not overlap.
+///
+/// Teardown contract: run() returns (or throws) only after every burst of
+/// that run has been popped and counted, so the destructor never races
+/// in-flight feed — it merely flips each lane's stop flag and joins workers
+/// that are either idle or finishing their last completion hand-off. The
+/// pool may therefore be destroyed immediately after run() returns, after
+/// run() threw, without ever calling run(), and from a different thread
+/// than the one that ran it (the epoch-teardown shape: the last owner of a
+/// retired engine drops it from whichever thread held the final reference).
 class BurstPool {
  public:
   /// Spawns `workers` (>= 1) lanes; the factory is invoked on each worker

@@ -151,13 +151,31 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
               qo.workers = threads;
               qo.batch = spec.batch;
               qo.engine = ap.engine;
-              serve::QueryEngine engine(g, result.edges, cell.k, qo);
               serve::LoadTestOptions lo;
               lo.qps = spec.qps;
               lo.conns = spec.conns;
               lo.duration = spec.duration;
               lo.seed = spec.seed;
-              const serve::LoadTestResult lt = run_load_test(engine, lo);
+              lo.chaos = spec.chaos;
+              lo.reload_every = spec.reload_every;
+              serve::LoadTestResult lt;
+              if (spec.reload_every > 0) {
+                // Reload storms need a rebuildable epoch: the builder
+                // reconstructs the engine from a captured copy of the
+                // graph and spanner, so every epoch answers bit-identically
+                // and the storm only exercises the swap machinery.
+                auto rebuild = [g, edges = result.edges, k = cell.k,
+                                qo](const std::string&) {
+                  return serve::EngineEpoch::build(g, edges, k, qo,
+                                                   "inline");
+                };
+                auto epochs = std::make_shared<serve::EpochManager>(
+                    rebuild(""), rebuild);
+                lt = run_load_test(epochs, lo);
+              } else {
+                serve::QueryEngine engine(g, result.edges, cell.k, qo);
+                lt = run_load_test(engine, lo);
+              }
               cell.load.ran = true;
               cell.load.requests = lt.requests;
               cell.load.errors = lt.errors;
@@ -168,6 +186,14 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
               cell.load.cache_hits = lt.cache_hits;
               cell.load.cache_misses = lt.cache_misses;
               cell.load.cache_hit_rate = lt.cache_hit_rate;
+              cell.load.shed = lt.shed;
+              cell.load.deadline_hits = lt.deadline_hits;
+              cell.load.rejected = lt.rejected;
+              cell.load.chaos_events = lt.chaos_events;
+              cell.load.reloads_sent = lt.reloads_sent;
+              cell.load.reloads_ok = lt.reloads_ok;
+              cell.load.reloads_failed = lt.reloads_failed;
+              cell.load.final_epoch = lt.final_epoch;
             }
 
             cell.peak_rss = peak_rss_bytes();
@@ -333,6 +359,14 @@ void json_cell(const ScenarioCell& c, bool timings, std::ostream& os,
       os << ", \"cache_misses\": " << c.load.cache_misses;
       os << ", \"cache_hit_rate\": ";
       json_number(c.load.cache_hit_rate, os);
+      os << ", \"shed\": " << c.load.shed;
+      os << ", \"deadline_hits\": " << c.load.deadline_hits;
+      os << ", \"rejected\": " << c.load.rejected;
+      os << ", \"chaos_events\": " << c.load.chaos_events;
+      os << ", \"reloads_sent\": " << c.load.reloads_sent;
+      os << ", \"reloads_ok\": " << c.load.reloads_ok;
+      os << ", \"reloads_failed\": " << c.load.reloads_failed;
+      os << ", \"final_epoch\": " << c.load.final_epoch;
       os << "}";
     }
   }
@@ -419,6 +453,17 @@ Registry<ScenarioPreset> build_presets() {
            "0.3 s closed loop over 2 connections",
            "workload=serve n=48 p=0.3 conns=2 duration=0.3 wseed=2 "
            "algo=ft_vertex k=3 r=1 seed=3 threads=2 reps=1 validate=none"});
+
+  // Same shape as serve_smoke plus the robustness machinery: 40% of client
+  // slots inject seeded faults (resets, slow-loris, malformed, oversized)
+  // and every 25th request per client fires an admin reload. The CI
+  // chaos-smoke job asserts errors == 0 on this preset's load block.
+  reg.add("serve_chaos",
+          {"serve daemon chaos run: seeded client faults + reload storm "
+           "over 3 connections, 0.4 s",
+           "workload=serve n=48 p=0.3 conns=3 duration=0.4 chaos=0.4 "
+           "reload_every=25 wseed=2 algo=ft_vertex k=3 r=1 seed=3 "
+           "threads=2 reps=1 validate=none"});
 
   reg.add("quick",
           {"small demo sweep: ft_vertex over gnp at n={64,128}, r={1,2}",

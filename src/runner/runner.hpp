@@ -74,6 +74,17 @@ struct ScenarioCell {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     double cache_hit_rate = 0;
+    // Failure-mode counters (chaos= / reload_every= keys): client-observed
+    // shed and rejection totals, injected-fault counts, and the reload
+    // storm's outcome. All zero when neither key is set.
+    std::uint64_t shed = 0;
+    std::uint64_t deadline_hits = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t chaos_events = 0;
+    std::uint64_t reloads_sent = 0;
+    std::uint64_t reloads_ok = 0;
+    std::uint64_t reloads_failed = 0;
+    std::uint64_t final_epoch = 0;
   };
   LoadStats load;
 

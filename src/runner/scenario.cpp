@@ -130,6 +130,8 @@ std::string ScenarioSpec::to_string() const {
   if (qps != 0) os << " qps=" << format_double(qps);
   if (conns != 1) os << " conns=" << conns;
   if (duration != 0) os << " duration=" << format_double(duration);
+  if (chaos != 0) os << " chaos=" << format_double(chaos);
+  if (reload_every != 0) os << " reload_every=" << reload_every;
   os << " wseed=" << wseed;
   os << " algo=" << algo;
   os << " k=" << join_doubles(k);
@@ -190,6 +192,12 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       spec.duration = parse_double(key, value);
       if (!(spec.duration >= 0.0) || !std::isfinite(spec.duration))
         bad_value(key, value);
+    } else if (key == "chaos") {
+      // An injection probability; nan fails both comparisons.
+      spec.chaos = parse_double(key, value);
+      if (!(spec.chaos >= 0.0 && spec.chaos <= 1.0)) bad_value(key, value);
+    } else if (key == "reload_every") {
+      spec.reload_every = static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "wseed") {
       spec.wseed = parse_u64(key, value);
     } else if (key == "algo") {
@@ -240,9 +248,9 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else {
       throw std::invalid_argument(
           "scenario spec: unknown key '" + key +
-          "'; valid keys: workload path n p scale qps conns duration wseed "
-          "algo k r c iters seed threads engine batch reps validate trials "
-          "adversarial vseed timings");
+          "'; valid keys: workload path n p scale qps conns duration chaos "
+          "reload_every wseed algo k r c iters seed threads engine batch "
+          "reps validate trials adversarial vseed timings");
     }
   }
   return spec;

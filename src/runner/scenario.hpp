@@ -36,6 +36,8 @@ struct ScenarioSpec {
   double qps = 0;          ///< paced request rate; 0 = closed loop, unpaced
   std::size_t conns = 1;   ///< concurrent client connections
   double duration = 0;     ///< load-test seconds; 0 = no load phase
+  double chaos = 0;        ///< P(a client slot injects a fault); 0 = off
+  std::size_t reload_every = 0;  ///< POST /admin/reload every Nth request
 
   // --- algorithm ---
   std::string algo = "ft_vertex";

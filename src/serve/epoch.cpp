@@ -1,0 +1,108 @@
+#include "serve/epoch.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace ftspan::serve {
+
+std::shared_ptr<EngineEpoch> EngineEpoch::build(
+    Graph g, const std::vector<EdgeId>& spanner_edges, double k,
+    const QueryEngine::Options& options, std::string source) {
+  auto epoch = std::make_shared<EngineEpoch>();
+  epoch->source = std::move(source);
+  epoch->graph = std::move(g);
+  // Constructed against the stored graph: the engine aliases epoch->graph,
+  // which lives exactly as long as the engine does.
+  epoch->owned = std::make_unique<QueryEngine>(epoch->graph, spanner_edges, k,
+                                               options);
+  epoch->engine = epoch->owned.get();
+  return epoch;
+}
+
+std::shared_ptr<EngineEpoch> EngineEpoch::wrap(QueryEngine& engine,
+                                               std::string source) {
+  auto epoch = std::make_shared<EngineEpoch>();
+  epoch->source = std::move(source);
+  epoch->engine = &engine;
+  return epoch;
+}
+
+EpochManager::EpochManager(std::shared_ptr<EngineEpoch> initial,
+                           Builder builder)
+    : builder_(std::move(builder)), current_(std::move(initial)) {}
+
+std::shared_ptr<EpochManager> EpochManager::fixed(QueryEngine& engine) {
+  return std::make_shared<EpochManager>(EngineEpoch::wrap(engine, "fixed"),
+                                        Builder{});
+}
+
+EpochManager::~EpochManager() {
+  wait_idle();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::shared_ptr<EngineEpoch> EpochManager::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+bool EpochManager::request_reload(const std::string& path) {
+  if (!builder_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_progress_) return false;
+  if (worker_.joinable()) worker_.join();  // previous reload has finished
+  in_progress_ = true;
+  worker_ = std::thread(&EpochManager::reload_main, this, path);
+  return true;
+}
+
+void EpochManager::reload_main(std::string path) {
+  std::string resolved = path;
+  if (resolved.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    resolved = current_->source;
+  }
+  std::shared_ptr<EngineEpoch> next;
+  std::string error;
+  try {
+    next = builder_(resolved);
+    if (!next) error = "builder returned no epoch";
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown rebuild failure";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next) {
+    next->id = current_->id + 1;
+    // The swap may drop the last reference to the old epoch right here (if
+    // the event loop is between rounds) — destroying a QueryEngine nobody
+    // references is safe from any thread.
+    current_ = std::move(next);
+    ++ok_;
+  } else {
+    ++failed_;
+    last_error_ = std::move(error);
+  }
+  in_progress_ = false;
+  idle_cv_.notify_all();
+}
+
+EpochManager::Status EpochManager::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s;
+  s.epoch = current_->id;
+  s.source = current_->source;
+  s.ok = ok_;
+  s.failed = failed_;
+  s.in_progress = in_progress_;
+  s.last_error = last_error_;
+  return s;
+}
+
+void EpochManager::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return !in_progress_; });
+}
+
+}  // namespace ftspan::serve

@@ -1,0 +1,123 @@
+// Epoch-versioned engine handles for hot graph reload.
+//
+// An EngineEpoch bundles one generation of the serving state — the base
+// graph, the spanner-backed QueryEngine built over it, and a monotonically
+// increasing epoch id — behind a shared_ptr. The daemon's event loop grabs
+// the current epoch once per poll round; a reload builds a *new* epoch on a
+// background thread and atomically publishes it, so in-flight requests
+// finish on the epoch they started on and the old engine is destroyed only
+// when its last round-held reference drops. No lock is held while queries
+// run, and no connection is ever dropped by a swap.
+//
+// A failed rebuild (missing file, parse error, spanner construction throw)
+// never touches the live epoch: the manager keeps serving the old one and
+// records the error for /healthz.
+//
+// Threading: current()/status()/request_reload() are safe from any thread.
+// The builder runs on a dedicated background thread, one reload at a time
+// (a second request while one is in flight is refused — the daemon answers
+// 409). QueryEngine itself keeps its single-coordinator contract: only the
+// event loop calls answer_batch on an epoch's engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "serve/query.hpp"
+
+namespace ftspan::serve {
+
+/// One generation of serving state. `graph` is owned here because
+/// QueryEngine aliases it (`g must outlive the engine`); keeping them in
+/// one refcounted object makes the lifetime coupling structural.
+struct EngineEpoch {
+  std::uint64_t id = 1;      ///< monotonically increasing across reloads
+  std::string source;        ///< where the graph came from (path or label)
+  Graph graph;               ///< owned base graph (empty for wrapped engines)
+  std::unique_ptr<QueryEngine> owned;  ///< engine built over `graph`
+  QueryEngine* engine = nullptr;       ///< = owned.get(), or an external engine
+
+  /// Builds a self-owning epoch: moves the graph in, then constructs the
+  /// engine against the *stored* graph (which never moves again).
+  static std::shared_ptr<EngineEpoch> build(Graph g,
+                                            const std::vector<EdgeId>& spanner_edges,
+                                            double k,
+                                            const QueryEngine::Options& options,
+                                            std::string source);
+
+  /// Wraps an externally owned engine (tests, the legacy ServeDaemon
+  /// constructor). The caller keeps ownership and must outlive the epoch.
+  static std::shared_ptr<EngineEpoch> wrap(QueryEngine& engine,
+                                           std::string source);
+};
+
+/// Publishes the current epoch and runs reloads on a background thread.
+class EpochManager {
+ public:
+  /// Builds (or rebuilds) an epoch from a path. An empty path means
+  /// "reload whatever the current source is" — the builder decides what
+  /// that resolves to. Throw std::exception on failure; the thrown message
+  /// becomes last_error.
+  using Builder =
+      std::function<std::shared_ptr<EngineEpoch>(const std::string& path)>;
+
+  /// A reloadable manager: `initial` is epoch 1, `builder` serves reloads.
+  EpochManager(std::shared_ptr<EngineEpoch> initial, Builder builder);
+
+  /// A non-reloadable manager around an externally owned engine —
+  /// request_reload() always refuses. For tests and embedded use.
+  static std::shared_ptr<EpochManager> fixed(QueryEngine& engine);
+
+  ~EpochManager();  ///< waits for any in-flight rebuild
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The live epoch. Callers hold the shared_ptr for as long as they use
+  /// the engine (the daemon: one poll round).
+  std::shared_ptr<EngineEpoch> current() const;
+
+  bool reloadable() const { return static_cast<bool>(builder_); }
+
+  /// Starts a background rebuild from `path` (empty = current source).
+  /// Returns false — without starting anything — when not reloadable or a
+  /// reload is already in flight. On success the new epoch is published
+  /// atomically; on failure the old epoch stays live and status() carries
+  /// the error.
+  bool request_reload(const std::string& path = std::string());
+
+  struct Status {
+    std::uint64_t epoch = 0;   ///< id of the live epoch
+    std::string source;        ///< live epoch's source
+    std::uint64_t ok = 0;      ///< completed successful reloads
+    std::uint64_t failed = 0;  ///< completed failed reloads
+    bool in_progress = false;
+    std::string last_error;    ///< from the most recent failed reload
+  };
+  Status status() const;
+
+  /// Blocks until no rebuild is in flight (tests poll health via this).
+  void wait_idle();
+
+ private:
+  void reload_main(std::string path);
+
+  Builder builder_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::shared_ptr<EngineEpoch> current_;
+  std::thread worker_;
+  bool in_progress_ = false;
+  std::uint64_t ok_ = 0;
+  std::uint64_t failed_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace ftspan::serve

@@ -35,10 +35,12 @@ std::string_view trim(std::string_view s) {
 const char* reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Content Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -193,9 +195,10 @@ HttpParseStatus parse_http_request(std::string_view buf,
 }
 
 std::string http_response(int status, std::string_view content_type,
-                          std::string_view body, bool keep_alive) {
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers) {
   std::string out;
-  out.reserve(body.size() + 128);
+  out.reserve(body.size() + extra_headers.size() + 128);
   out += "HTTP/1.1 ";
   out += std::to_string(status);
   out += ' ';
@@ -206,7 +209,9 @@ std::string http_response(int status, std::string_view content_type,
   out += std::to_string(body.size());
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
-  out += "\r\n\r\n";
+  out += "\r\n";
+  out += extra_headers;
+  out += "\r\n";
   out += body;
   return out;
 }

@@ -48,9 +48,13 @@ HttpParseStatus parse_http_request(std::string_view buf,
 
 /// Serializes one response with Content-Length and Connection headers.
 /// `status` is the numeric code (200, 400, ...); the reason phrase is
-/// derived from it.
+/// derived from it. `extra_headers` is injected verbatim between the fixed
+/// headers and the blank line — each entry must be a complete
+/// "Name: value\r\n" line (the daemon uses it for `Retry-After` on shed
+/// responses).
 std::string http_response(int status, std::string_view content_type,
-                          std::string_view body, bool keep_alive);
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers = "");
 
 /// Percent-decodes `in` ('+' becomes a space). False on a malformed escape
 /// (e.g. "%2" or "%zz"); `out` is unspecified then.

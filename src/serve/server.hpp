@@ -8,13 +8,29 @@
 // call, so the worker lanes see batches, not single queries, and responses
 // still go out in per-connection request order (pipelining-safe).
 //
-// Endpoints (GET only):
-//   /distance?s=S&t=T[&avoid=LIST]  spanner distance d_{H\F}(s, t)
-//   /stretch?s=S&t=T[&avoid=LIST]   adds base d_{G\F}(s, t) and the ratio
-//   /stats                          counters: qps, cache hit rate, peak RSS
-//   /healthz                        liveness probe
+// Endpoints:
+//   GET  /distance?s=S&t=T[&avoid=LIST]  spanner distance d_{H\F}(s, t)
+//   GET  /stretch?s=S&t=T[&avoid=LIST]   adds base d_{G\F}(s, t) and ratio
+//   GET  /stats                          counters: qps, cache, shed, epoch
+//   GET  /healthz                        liveness + reload status
+//   POST /admin/reload[?path=FILE]       start a background graph reload
 // where LIST is comma-separated faults: `7` avoids vertex 7, `3-5` avoids
 // edge {3, 5}.
+//
+// Epochs. The daemon serves through an EpochManager (serve/epoch.hpp): the
+// loop pins the current epoch once per poll round, so a reload published
+// mid-round is picked up at the next round while every already-parsed
+// request answers on the epoch it arrived under. trigger_reload() is
+// async-signal-safe (a 'R' byte on the self-pipe) so a SIGHUP handler can
+// call it; POST /admin/reload does the same from the wire.
+//
+// Admission control. Three independent knobs in ServeOptions:
+//   max_pipeline  per-connection requests parsed per round — excess stays
+//                 buffered and is parsed next round (deferred, never lost);
+//   max_pending   queries admitted to one answer_batch — excess requests
+//                 are shed with 503 + Retry-After on a still-open conn;
+//   deadline_ms   request age limit (first byte to response) — stale
+//                 requests answer 503 instead of occupying the batch.
 //
 // Shutdown: stop() is async-signal-safe (one write to a self-pipe), so a
 // SIGINT/SIGTERM handler can call it; the loop then flushes nothing further
@@ -27,9 +43,12 @@
 #include <string>
 #include <vector>
 
+#include "serve/epoch.hpp"
 #include "serve/query.hpp"
 
 namespace ftspan::serve {
+
+struct HttpRequest;
 
 struct ServeOptions {
   std::string host = "127.0.0.1";
@@ -37,22 +56,32 @@ struct ServeOptions {
   std::size_t max_connections = 64;   ///< beyond this, accept + 503 + close
   std::size_t max_request_bytes = 16384;  ///< request line + headers + body
   int idle_timeout_ms = 5000;  ///< idle connections get 408 + close; <= 0 off
+  std::size_t max_pipeline = 16;  ///< requests parsed per conn per round
+  std::size_t max_pending = 512;  ///< queries per batch; excess shed with 503
+  int deadline_ms = 0;  ///< per-request deadline; <= 0 off
 };
 
 class ServeDaemon {
  public:
-  /// The engine must outlive the daemon; answer_batch is only ever called
-  /// from the thread inside run() (the engine's single-coordinator
-  /// contract).
+  /// Serves through `epochs` (hot-reloadable when the manager has a
+  /// builder). answer_batch is only ever called from the thread inside
+  /// run() (the engine's single-coordinator contract).
+  ServeDaemon(std::shared_ptr<EpochManager> epochs,
+              const ServeOptions& options = {});
+
+  /// Wraps a bare engine in a non-reloadable EpochManager. The engine must
+  /// outlive the daemon.
   ServeDaemon(QueryEngine& engine, const ServeOptions& options = {});
+
   ~ServeDaemon();
 
   ServeDaemon(const ServeDaemon&) = delete;
   ServeDaemon& operator=(const ServeDaemon&) = delete;
 
-  /// Binds and listens. Throws std::runtime_error on failure (port in use,
-  /// bad host). Separate from run() so callers learn the ephemeral port
-  /// before starting the loop.
+  /// Binds and listens (and ignores SIGPIPE process-wide — a dying client
+  /// must never kill the daemon). Throws std::runtime_error on failure
+  /// (port in use, bad host). Separate from run() so callers learn the
+  /// ephemeral port before starting the loop.
   void listen();
 
   /// The bound port (valid after listen()).
@@ -64,10 +93,21 @@ class ServeDaemon {
   /// Requests shutdown. Async-signal-safe and callable from any thread.
   void stop();
 
+  /// Requests a graph reload from the current source — the SIGHUP path.
+  /// Async-signal-safe and callable from any thread; a no-op (recorded as
+  /// a failed admin request) when the epoch manager is not reloadable.
+  void trigger_reload();
+
+  const std::shared_ptr<EpochManager>& epochs() const { return epochs_; }
+
   struct Stats {
     std::uint64_t requests = 0;     ///< well-formed requests answered
     std::uint64_t bad_requests = 0; ///< 400/404/405/413 responses
     std::uint64_t connections = 0;  ///< total accepted
+    std::uint64_t shed = 0;         ///< 503s from the pending-request budget
+    std::uint64_t deadline_hits = 0;  ///< 503s from per-request deadlines
+    std::uint64_t internal_errors = 0;  ///< 503s from compute/alloc failures
+    std::uint64_t reload_requests = 0;  ///< accepted /admin/reload + SIGHUPs
   };
   const Stats& stats() const { return stats_; }
 
@@ -89,23 +129,30 @@ class ServeDaemon {
 
   void accept_new();
   void read_into(Conn& conn);
-  void process(std::size_t ci);
+  void process(std::size_t ci, QueryEngine& engine);
+  void handle_admin_reload(const HttpRequest& req, Action& action);
   void flush(Conn& conn);
-  std::string handle_stats(double uptime_seconds) const;
+  std::string handle_stats(const QueryEngine& engine,
+                           double uptime_seconds) const;
+  std::string handle_healthz() const;
+  void drain_wake_pipe(bool& stop_requested);
 
-  QueryEngine* engine_;
+  std::shared_ptr<EpochManager> epochs_;
   ServeOptions options_;
   int listen_fd_ = -1;
-  int wake_fd_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written by stop()
+  int wake_fd_[2] = {-1, -1};  ///< self-pipe: [0] polled; 'S' stop, 'R' reload
   std::uint16_t port_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
   Stats stats_;
+  bool deferred_ = false;  ///< a conn hit max_pipeline: poll must not block
 
   // Per-round scratch (members so the buffers persist across rounds).
   std::vector<ServeQuery> batch_queries_;
   std::vector<ServeAnswer> batch_answers_;
   std::vector<Action> actions_;
+  std::vector<std::int64_t> batch_arrival_ms_;  ///< arrival per batch query
   double uptime_seconds_ = 0;  ///< refreshed each round for /stats
+  std::int64_t now_ms_ = 0;    ///< refreshed each round for deadlines
 };
 
 }  // namespace ftspan::serve

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <stdexcept>
 #include <thread>
@@ -375,6 +377,86 @@ TEST(BurstPool, FactoryFailurePoisonsEveryRun) {
   });
   EXPECT_THROW(pool.run(50, 1), std::runtime_error);
   EXPECT_THROW(pool.run(50, 1), std::runtime_error);
+}
+
+// --- BurstPool teardown --------------------------------------------------
+//
+// The pool's destructor runs while worker threads may still be between
+// their last completion hand-off and the idle wait; these tests hammer that
+// window from every shape the serve layer can produce (see the teardown
+// contract in burst_pipeline.hpp). They are primarily TSan/ASan fodder: the
+// assertions are thin on purpose — the property under test is "no data
+// race, no deadlock, no touch-after-free during teardown".
+
+// Destroy the pool the instant run() returns, while workers are still
+// draining out of their final notify. Slow tasks widen the window; several
+// rounds make the interleaving vary.
+TEST(BurstPool, DestructionImmediatelyAfterRunIsClean) {
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<std::size_t> done{0};
+    {
+      BurstPool pool(4, [&done](std::size_t) -> BurstTask {
+        return [&done](std::size_t) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          done.fetch_add(1, std::memory_order_relaxed);
+        };
+      });
+      pool.run(64, 1);
+    }  // ~BurstPool races the workers' post-completion wind-down
+    EXPECT_EQ(done.load(), 64u);
+  }
+}
+
+// A run that throws still drains every burst before rethrowing, so tearing
+// the pool down right out of the catch block must be as safe as after a
+// clean run — no worker may still hold a burst whose task state is gone.
+TEST(BurstPool, DestructionAfterAThrowingRunIsClean) {
+  for (int round = 0; round < 8; ++round) {
+    bool threw = false;
+    {
+      BurstPool pool(3, [](std::size_t) -> BurstTask {
+        return [](std::size_t i) {
+          if (i == 17) throw std::runtime_error("boom");
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        };
+      });
+      try {
+        pool.run(200, 4);
+      } catch (const std::runtime_error&) {
+        threw = true;
+      }
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+// Construct-then-destroy with no run in between: the stop flag may be set
+// before a worker has even reached its first idle wait (or run its
+// factory), and the join must still succeed.
+TEST(BurstPool, DestructionWithoutAnyRunIsClean) {
+  for (int round = 0; round < 16; ++round) {
+    BurstPool pool(4, [](std::size_t) -> BurstTask {
+      return [](std::size_t) {};
+    });
+  }
+}
+
+// The epoch-teardown shape: the pool is built and run on one thread, but
+// the last owner drops it from another (a retired engine's final reference
+// is released by whichever thread held it — for the serve daemon, possibly
+// the reload worker). The destructor must not assume the coordinator's
+// thread identity.
+TEST(BurstPool, DestructionOnADifferentThreadIsClean) {
+  std::atomic<std::size_t> done{0};
+  auto pool = std::make_unique<BurstPool>(3, [&done](std::size_t) -> BurstTask {
+    return [&done](std::size_t) {
+      done.fetch_add(1, std::memory_order_relaxed);
+    };
+  });
+  pool->run(100, 2);
+  EXPECT_EQ(done.load(), 100u);
+  std::thread reaper([p = std::move(pool)]() mutable { p.reset(); });
+  reaper.join();
 }
 
 // Same deterministic distribution as run_bursts: burst b -> worker

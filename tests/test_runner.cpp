@@ -98,6 +98,11 @@ TEST(ScenarioSpecTest, ParseToStringRoundTripsByteIdentically) {
       "workload=serve n=48 qps=64 conns=4 duration=0.4 wseed=2 "
       "algo=ft_vertex k=3 r=1 seed=3 threads=2 reps=1 validate=sampled "
       "trials=5 adversarial=5 vseed=9",
+      // chaos/reload_every print after duration; zero (the default) stays
+      // invisible (previous case).
+      "workload=serve n=48 conns=3 duration=0.4 chaos=0.25 reload_every=50 "
+      "wseed=2 algo=ft_vertex k=3 r=1 seed=3 threads=2 reps=1 "
+      "validate=none",
       // engine/batch print between threads and reps; engine=auto and
       // batch=0 are the defaults and must stay invisible (first case above).
       "workload=gnp wseed=1 algo=ft_vertex k=3 r=2 seed=1 threads=2 "
@@ -139,8 +144,10 @@ TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
   try {
     ScenarioSpec::parse("frobnicate=1");
   } catch (const std::invalid_argument& e) {
-    // The unknown-key error teaches the valid keys.
+    // The unknown-key error teaches the valid keys, new ones included.
     EXPECT_NE(std::string(e.what()).find("valid keys"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("chaos"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("reload_every"), std::string::npos);
   }
 }
 
@@ -154,6 +161,8 @@ TEST(ScenarioSpecTest, RejectsOutOfRangeNumericValues) {
       "k=0.5",        "k=0",         "k=nan",        "k=3,0.5",
       "qps=-1",       "qps=nan",     "qps=inf",
       "conns=0",      "duration=-1", "duration=nan", "duration=inf",
+      "chaos=1.5",    "chaos=-0.1",  "chaos=nan",    "chaos=inf",
+      "reload_every=-1",
   };
   for (const char* text : bad) {
     const std::string key(text, std::strchr(text, '=') - text);
@@ -173,6 +182,9 @@ TEST(ScenarioSpecTest, RejectsOutOfRangeNumericValues) {
   EXPECT_EQ(ScenarioSpec::parse("qps=0").qps, 0.0);
   EXPECT_EQ(ScenarioSpec::parse("conns=1").conns, 1u);
   EXPECT_EQ(ScenarioSpec::parse("duration=0").duration, 0.0);
+  EXPECT_EQ(ScenarioSpec::parse("chaos=0").chaos, 0.0);
+  EXPECT_EQ(ScenarioSpec::parse("chaos=1").chaos, 1.0);
+  EXPECT_EQ(ScenarioSpec::parse("reload_every=0").reload_every, 0u);
 }
 
 TEST(ScenarioSpecTest, RejectsWhitespaceInPath) {

@@ -16,7 +16,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -25,8 +30,10 @@
 #include "graph/generators.hpp"
 #include "graph/shortest_paths.hpp"
 #include "ftspanner/conversion.hpp"
+#include "serve/epoch.hpp"
 #include "serve/http.hpp"
 #include "serve/loadtest.hpp"
+#include "serve/net.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 #include "validate/stretch_oracle.hpp"
@@ -670,6 +677,404 @@ TEST(ServeDaemon, StatsEndpointReportsCounters) {
   EXPECT_NE(stats.find("\"n\": 5"), std::string::npos);
 }
 
+// --- epochs & hot reload -------------------------------------------------
+
+/// Path "B" for reload tests: the same 5-vertex path with doubled weights,
+/// so a successful swap is observable as d(0, 4) jumping from 10 to 20.
+Graph doubled_path5() {
+  Graph g(5);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 4.0);
+  g.add_edge(2, 3, 6.0);
+  g.add_edge(3, 4, 8.0);
+  return g;
+}
+
+std::shared_ptr<serve::EngineEpoch> build_path_epoch(const std::string& name) {
+  Graph g = name == "B" ? doubled_path5() : weighted_path5();
+  const std::vector<EdgeId> ids = TestServer::make_ids(g);
+  return serve::EngineEpoch::build(std::move(g), ids, 3.0, {}, name);
+}
+
+/// Builder mapping symbolic "paths" to in-memory graphs; "corrupt" fails
+/// the way an unreadable graph file would.
+serve::EpochManager::Builder path_builder() {
+  return [](const std::string& path) {
+    if (path == "corrupt")
+      throw std::runtime_error("graph io: corrupt graph file");
+    return build_path_epoch(path);
+  };
+}
+
+/// A reloadable daemon: epoch 1 serves path "A"; reloads go through
+/// `builder` (default: the symbolic path builder above).
+struct ReloadableServer {
+  std::shared_ptr<serve::EpochManager> epochs;
+  serve::ServeDaemon daemon;
+  std::thread loop;
+
+  explicit ReloadableServer(
+      serve::ServeOptions options = {},
+      serve::EpochManager::Builder builder = path_builder())
+      : epochs(std::make_shared<serve::EpochManager>(build_path_epoch("A"),
+                                                     std::move(builder))),
+        daemon(epochs, options) {
+    daemon.listen();
+    loop = std::thread([this] { daemon.run(); });
+  }
+  ~ReloadableServer() {
+    daemon.stop();
+    loop.join();
+  }
+};
+
+/// One-shot request with an arbitrary method and Connection: close.
+std::string http_request(std::uint16_t port, const std::string& method,
+                         const std::string& target) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return {};
+  const std::string req =
+      method + " " + target + " HTTP/1.1\r\nConnection: close\r\n\r\n";
+  std::string buf, out;
+  if (send_all(fd, req)) out = recv_response(fd, buf);
+  ::close(fd);
+  return out;
+}
+
+/// Polls `pred` for up to five seconds — generous for in-process reloads.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+TEST(EpochManager, ReloadPublishesNewEpochAndOldStaysAlive) {
+  serve::EpochManager mgr(build_path_epoch("A"), path_builder());
+  const std::shared_ptr<serve::EngineEpoch> pinned = mgr.current();
+  EXPECT_EQ(pinned->id, 1u);
+  ASSERT_TRUE(mgr.request_reload("B"));
+  mgr.wait_idle();
+  const std::shared_ptr<serve::EngineEpoch> fresh = mgr.current();
+  EXPECT_EQ(fresh->id, 2u);
+  EXPECT_EQ(fresh->source, "B");
+  // The retired epoch stays fully usable while a reference holds it — this
+  // is what lets in-flight rounds finish across a swap.
+  ServeQuery q;
+  q.s = 0;
+  q.t = 4;
+  EXPECT_EQ(pinned->engine->answer(q).dh, 10.0);
+  EXPECT_EQ(fresh->engine->answer(q).dh, 20.0);
+  const serve::EpochManager::Status s = mgr.status();
+  EXPECT_EQ(s.epoch, 2u);
+  EXPECT_EQ(s.ok, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_FALSE(s.in_progress);
+}
+
+TEST(EpochManager, FailedReloadKeepsOldEpochAndRecordsError) {
+  serve::EpochManager mgr(build_path_epoch("A"), path_builder());
+  ASSERT_TRUE(mgr.request_reload("corrupt"));
+  mgr.wait_idle();
+  EXPECT_EQ(mgr.current()->id, 1u);  // the old epoch never stopped serving
+  const serve::EpochManager::Status s = mgr.status();
+  EXPECT_EQ(s.epoch, 1u);
+  EXPECT_EQ(s.ok, 0u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_NE(s.last_error.find("corrupt"), std::string::npos) << s.last_error;
+  // The failure is not sticky: a later good reload still swaps.
+  ASSERT_TRUE(mgr.request_reload("B"));
+  mgr.wait_idle();
+  EXPECT_EQ(mgr.current()->id, 2u);
+  EXPECT_EQ(mgr.status().ok, 1u);
+}
+
+TEST(EpochManager, EmptyPathRebuildsTheCurrentSource) {
+  serve::EpochManager mgr(build_path_epoch("A"), path_builder());
+  ASSERT_TRUE(mgr.request_reload());  // the SIGHUP shape: no explicit path
+  mgr.wait_idle();
+  const std::shared_ptr<serve::EngineEpoch> fresh = mgr.current();
+  EXPECT_EQ(fresh->id, 2u);
+  EXPECT_EQ(fresh->source, "A");  // same source, new generation
+  ServeQuery q;
+  q.s = 0;
+  q.t = 4;
+  EXPECT_EQ(fresh->engine->answer(q).dh, 10.0);
+}
+
+TEST(EpochManager, FixedManagerRefusesReloads) {
+  Graph g = weighted_path5();
+  serve::QueryEngine engine(g, TestServer::make_ids(g), 3.0);
+  const std::shared_ptr<serve::EpochManager> mgr =
+      serve::EpochManager::fixed(engine);
+  EXPECT_FALSE(mgr->reloadable());
+  EXPECT_FALSE(mgr->request_reload());
+  EXPECT_FALSE(mgr->request_reload("B"));
+  EXPECT_EQ(mgr->current()->engine, &engine);
+  EXPECT_EQ(mgr->status().epoch, 1u);
+}
+
+TEST(ServeDaemon, AdminReloadSwapsEpochsUnderKeepAlive) {
+  ReloadableServer server;
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(json_number(recv_response(fd, buf), "distance"), 10.0);
+
+  ASSERT_TRUE(send_all(fd, "POST /admin/reload?path=B HTTP/1.1\r\n\r\n"));
+  const std::string ack = recv_response(fd, buf);
+  EXPECT_NE(ack.find("202"), std::string::npos) << ack;
+  EXPECT_NE(ack.find("\"status\": \"reloading\""), std::string::npos) << ack;
+
+  server.epochs->wait_idle();
+  // Same connection, next round: the new epoch answers. The swap dropped
+  // nothing — this socket was open across it the whole time.
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(json_number(recv_response(fd, buf), "distance"), 20.0);
+
+  ASSERT_TRUE(send_all(fd, "GET /healthz HTTP/1.1\r\n\r\n"));
+  const std::string health = recv_response(fd, buf);
+  EXPECT_EQ(json_number(health, "epoch"), 2.0) << health;
+  EXPECT_NE(health.find("\"ok\": 1"), std::string::npos) << health;
+  ::close(fd);
+}
+
+TEST(ServeDaemon, FailedReloadKeepsOldEpochServing) {
+  ReloadableServer server;
+  const std::uint16_t port = server.daemon.port();
+  const std::string ack =
+      http_request(port, "POST", "/admin/reload?path=corrupt");
+  EXPECT_NE(ack.find("202"), std::string::npos) << ack;
+  server.epochs->wait_idle();
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_EQ(json_number(health, "epoch"), 1.0) << health;
+  EXPECT_NE(health.find("\"failed\": 1"), std::string::npos) << health;
+  EXPECT_NE(health.find("corrupt"), std::string::npos) << health;
+  EXPECT_EQ(json_number(http_get(port, "/distance?s=0&t=4"), "distance"),
+            10.0);
+}
+
+TEST(ServeDaemon, ReloadIsPostOnlyAndNeedsABuilder) {
+  {
+    ReloadableServer server;
+    const std::string r = http_get(server.daemon.port(), "/admin/reload");
+    EXPECT_NE(r.find("405"), std::string::npos) << r;
+  }
+  {
+    TestServer server(weighted_path5());  // fixed manager: no builder
+    const std::string r =
+        http_request(server.daemon.port(), "POST", "/admin/reload");
+    EXPECT_NE(r.find("503"), std::string::npos) << r;
+    EXPECT_NE(r.find("no reload builder"), std::string::npos) << r;
+  }
+}
+
+TEST(ServeDaemon, TriggerReloadFollowsTheSignalPath) {
+  ReloadableServer server;
+  server.daemon.trigger_reload();  // exactly what a SIGHUP handler calls
+  ASSERT_TRUE(
+      eventually([&] { return server.epochs->status().epoch == 2; }));
+  // Same source rebuilt: the answers are unchanged on the new epoch.
+  EXPECT_EQ(json_number(http_get(server.daemon.port(), "/distance?s=0&t=4"),
+                        "distance"),
+            10.0);
+}
+
+TEST(ServeDaemon, ConcurrentReloadIsRefusedWith409) {
+  serve::EpochManager::Builder slow = [](const std::string& path) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return build_path_epoch(path);
+  };
+  ReloadableServer server({}, std::move(slow));
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  ASSERT_TRUE(send_all(fd, "POST /admin/reload?path=B HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(recv_response(fd, buf).find("202"), std::string::npos);
+  ASSERT_TRUE(send_all(fd, "POST /admin/reload?path=B HTTP/1.1\r\n\r\n"));
+  const std::string second = recv_response(fd, buf);
+  EXPECT_NE(second.find("409"), std::string::npos) << second;
+  EXPECT_NE(second.find("already in progress"), std::string::npos) << second;
+  // A 409 keeps the connection alive and the daemon responsive.
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=1 HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(recv_response(fd, buf).find("200"), std::string::npos);
+  ::close(fd);
+  server.epochs->wait_idle();
+  EXPECT_EQ(server.epochs->status().epoch, 2u);
+}
+
+TEST(ServeDaemon, HotReloadUnderLoadNeverDropsOrChangesAnswers) {
+  ReloadableServer server;
+  std::atomic<bool> storming{true};
+  std::thread storm([&] {
+    for (int i = 0; i < 12; ++i) {
+      EXPECT_TRUE(server.epochs->request_reload("A"));
+      server.epochs->wait_idle();
+    }
+    storming.store(false);
+  });
+
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  int served = 0;
+  while (storming.load()) {
+    ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+    const std::string resp = recv_response(fd, buf);
+    ASSERT_FALSE(resp.empty()) << "connection dropped after " << served;
+    // Bit-identical across every swap: the rebuilt epoch serves the same
+    // graph, so the answer never wobbles.
+    EXPECT_EQ(json_number(resp, "distance"), 10.0) << resp;
+    ++served;
+  }
+  storm.join();
+  EXPECT_GT(served, 0);
+  EXPECT_EQ(server.epochs->status().epoch, 13u);  // all 12 swaps landed
+  // The connection that lived through every swap still works.
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(json_number(recv_response(fd, buf), "distance"), 10.0);
+  ::close(fd);
+}
+
+// --- admission control ---------------------------------------------------
+
+TEST(ServeDaemon, PendingBudgetShedsWith503AndRetryAfter) {
+  serve::ServeOptions options;
+  options.max_pending = 1;
+  TestServer server(weighted_path5(), options);
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  // One write, three pipelined queries: a ~120-byte loopback write arrives
+  // whole, so one poll round parses all three and the budget admits one.
+  ASSERT_TRUE(send_all(fd,
+                       "GET /distance?s=0&t=1 HTTP/1.1\r\n\r\n"
+                       "GET /distance?s=0&t=2 HTTP/1.1\r\n\r\n"
+                       "GET /distance?s=0&t=3 HTTP/1.1\r\n\r\n"));
+  std::string buf;
+  const std::string first = recv_response(fd, buf);
+  const std::string second = recv_response(fd, buf);
+  const std::string third = recv_response(fd, buf);
+  EXPECT_NE(first.find("200"), std::string::npos) << first;
+  EXPECT_EQ(json_number(first, "distance"), 1.0);
+  for (const std::string* shed : {&second, &third}) {
+    EXPECT_NE(shed->find("503"), std::string::npos) << *shed;
+    EXPECT_NE(shed->find("Retry-After:"), std::string::npos) << *shed;
+    EXPECT_NE(shed->find("overloaded"), std::string::npos) << *shed;
+  }
+  // Shedding never drops the connection: the retried query succeeds.
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=2 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(json_number(recv_response(fd, buf), "distance"), 3.0);
+  ASSERT_TRUE(send_all(fd, "GET /stats HTTP/1.1\r\n\r\n"));
+  const std::string stats = recv_response(fd, buf);
+  EXPECT_EQ(json_number(stats, "shed"), 2.0) << stats;
+  ::close(fd);
+}
+
+TEST(ServeDaemon, PipeliningCapDefersWithoutDroppingRequests) {
+  serve::ServeOptions options;
+  options.max_pipeline = 1;
+  TestServer server(weighted_path5(), options);
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd,
+                       "GET /distance?s=0&t=1 HTTP/1.1\r\n\r\n"
+                       "GET /distance?s=0&t=2 HTTP/1.1\r\n\r\n"
+                       "GET /distance?s=0&t=3 HTTP/1.1\r\n\r\n"
+                       "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+  // The cap defers parsing, never sheds: all four answer 200, in order,
+  // across (at least) four zero-timeout rounds.
+  std::string buf;
+  const double want[] = {1.0, 3.0, 6.0, 10.0};
+  for (const double expect : want) {
+    const std::string resp = recv_response(fd, buf);
+    EXPECT_NE(resp.find("200"), std::string::npos) << resp;
+    EXPECT_EQ(json_number(resp, "distance"), expect) << resp;
+  }
+  ::close(fd);
+}
+
+TEST(ServeDaemon, TrickledRequestsAnswer503AfterTheDeadline) {
+  serve::ServeOptions options;
+  options.deadline_ms = 50;
+  TestServer server(weighted_path5(), options);
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  // A slow-loris shape: the head arrives, then nothing for far longer than
+  // the deadline, then the finishing bytes.
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(send_all(fd, "\r\n"));
+  const std::string stale = recv_response(fd, buf);
+  EXPECT_NE(stale.find("503"), std::string::npos) << stale;
+  EXPECT_NE(stale.find("deadline exceeded"), std::string::npos) << stale;
+  // The shed is per-request: a prompt request on the same connection works.
+  ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(json_number(recv_response(fd, buf), "distance"), 10.0);
+  ::close(fd);
+}
+
+// --- signal hygiene & idle accounting ------------------------------------
+
+TEST(IgnoreSigpipe, SendToAClosedPeerReturnsEpipeInsteadOfKilling) {
+  serve::net::ignore_sigpipe();
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);
+  // Plain send, deliberately without MSG_NOSIGNAL: before ignore_sigpipe()
+  // this raised SIGPIPE and killed the whole process.
+  errno = 0;
+  const ssize_t r = ::send(sv[0], "x", 1, 0);
+  EXPECT_EQ(r, -1);
+  EXPECT_EQ(errno, EPIPE);
+  ::close(sv[0]);
+}
+
+TEST(ServeDaemon, SurvivesClientsVanishingMidResponse) {
+  TestServer server(weighted_path5());
+  const std::uint16_t port = server.daemon.port();
+  // Five clients send a request and hard-reset (SO_LINGER 0 → RST) without
+  // reading: the daemon's flush hits a dead socket each time.
+  for (int i = 0; i < 5; ++i) {
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=4 HTTP/1.1\r\n\r\n"));
+    const linger lg{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  }
+  // The daemon must still be alive and correct afterwards.
+  EXPECT_EQ(json_number(http_get(port, "/distance?s=0&t=4"), "distance"),
+            10.0);
+}
+
+TEST(ServeDaemon, IdleClockRestartsOnEveryCompletedRequest) {
+  serve::ServeOptions options;
+  options.idle_timeout_ms = 600;
+  TestServer server(weighted_path5(), options);
+  const int fd = connect_loopback(server.daemon.port());
+  ASSERT_GE(fd, 0);
+  std::string buf;
+  // Four requests with 150 ms of think time each: ~600 ms on one
+  // connection, but never 600 ms idle — the per-request clock reset must
+  // keep it open (the old accounting timed the connection, not the gaps).
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    ASSERT_TRUE(send_all(fd, "GET /distance?s=0&t=1 HTTP/1.1\r\n\r\n"));
+    const std::string resp = recv_response(fd, buf);
+    ASSERT_NE(resp.find("200"), std::string::npos) << "request " << i;
+  }
+  // Now actually go idle: the daemon answers 408 and closes.
+  const std::string idle = recv_response(fd, buf);
+  EXPECT_NE(idle.find("408"), std::string::npos) << idle;
+  EXPECT_TRUE(peer_closed(fd));
+  ::close(fd);
+}
+
 // --- load test -----------------------------------------------------------
 
 TEST(LoadTest, ClosedLoopReportsQuantilesAndCacheCounters) {
@@ -690,6 +1095,41 @@ TEST(LoadTest, ClosedLoopReportsQuantilesAndCacheCounters) {
   EXPECT_EQ(r.cache_hits + r.cache_misses, engine.queries_answered());
   EXPECT_GE(r.cache_hit_rate, 0.0);
   EXPECT_LE(r.cache_hit_rate, 1.0);
+}
+
+// The in-process acceptance run: hostile seeded clients (resets, slow-loris,
+// malformed floods, oversized requests) plus a reload storm, against a
+// rebuildable epoch manager. `errors` counts only protocol violations — a
+// dropped well-formed request or an unknown status — so errors == 0 is the
+// "zero dropped connections, every response well-formed" invariant.
+TEST(LoadTest, ChaosAndReloadStormKeepTheProtocolClean) {
+  const Graph g = gnp_connected(32, 0.25, 9, 3.0);
+  std::vector<EdgeId> ids(g.num_edges());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) ids[id] = id;
+  auto make_epoch = [g, ids] {
+    Graph copy = g;
+    return serve::EngineEpoch::build(std::move(copy), ids, 3.0, {}, "mem");
+  };
+  auto epochs = std::make_shared<serve::EpochManager>(
+      make_epoch(), [make_epoch](const std::string&) { return make_epoch(); });
+
+  serve::LoadTestOptions options;
+  options.conns = 3;
+  options.duration = 0.3;
+  options.seed = 11;
+  options.chaos = 0.4;
+  options.reload_every = 16;
+  const serve::LoadTestResult r = run_load_test(epochs, options);
+
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.requests, 0u);
+  EXPECT_GT(r.chaos_events, 0u);
+  EXPECT_EQ(r.chaos_events, r.chaos_resets + r.chaos_slowloris +
+                                r.chaos_malformed + r.chaos_oversized);
+  EXPECT_GT(r.reloads_sent, 0u);
+  EXPECT_GE(r.reload_acks, 1u);
+  EXPECT_GE(r.reloads_ok, 1u);
+  EXPECT_GE(r.final_epoch, 2u);  // the storm landed at least one swap
 }
 
 }  // namespace

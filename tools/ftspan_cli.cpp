@@ -189,7 +189,9 @@ void print_usage(std::FILE* out) {
       "                       stretch / fault-what-if queries over HTTP/JSON\n"
       "                       (GET /distance?s=S&t=T[&avoid=L],\n"
       "                       /stretch?s=S&t=T[&avoid=L], /stats, /healthz;\n"
-      "                       avoid L = comma list: 7 = vertex 7, 3-5 = edge)\n"
+      "                       POST /admin/reload[?path=F] hot-swaps the\n"
+      "                       graph; avoid L = comma list: 7 = vertex 7,\n"
+      "                       3-5 = edge)\n"
       "      -i FILE          input graph (required)\n"
       "      -k K             stretch, default 3\n"
       "      -r R             fault tolerance, default 1\n"
@@ -200,7 +202,13 @@ void print_usage(std::FILE* out) {
       "      --threads T      query worker lanes, default 1\n"
       "      --cache N        answer-cache entries (0 disables), default 1024\n"
       "      --seed S         RNG seed for the conversion, default 1\n"
-      "      SIGINT/SIGTERM stop the daemon gracefully.\n"
+      "      --max-pipeline N requests parsed per connection per poll round,\n"
+      "                       default 16 (excess defers, never drops)\n"
+      "      --max-pending N  queries admitted per batch before 503 +\n"
+      "                       Retry-After shedding, default 512\n"
+      "      --deadline-ms D  per-request deadline (503 past it); 0 = off\n"
+      "      SIGINT/SIGTERM stop gracefully; SIGHUP reloads the graph file\n"
+      "      (a failed reload keeps the old graph serving; see /healthz).\n"
       "\n"
       "  version              print the build's git describe and build type\n"
       "  selftest             gen -> ft -> exact-verify round trip (ctest)\n"
@@ -518,64 +526,97 @@ int cmd_corpus(const Args& a) {
   return 0;
 }
 
-/// The running daemon, for the signal handlers: stop() is async-signal-safe
-/// (a single self-pipe write), so SIGINT/SIGTERM shut the loop down
-/// gracefully — flush, close, return from run() — instead of killing the
-/// process mid-response.
+/// The running daemon, for the signal handlers: stop() and trigger_reload()
+/// are async-signal-safe (a single self-pipe write), so SIGINT/SIGTERM shut
+/// the loop down gracefully — flush, close, return from run() — and SIGHUP
+/// hot-reloads the graph, instead of killing the process mid-response.
 serve::ServeDaemon* g_daemon = nullptr;
 
 extern "C" void serve_signal_handler(int) {
   if (g_daemon != nullptr) g_daemon->stop();
 }
 
+extern "C" void serve_reload_handler(int) {
+  if (g_daemon != nullptr) g_daemon->trigger_reload();
+}
+
 /// `serve` — precompute the FT spanner, then answer queries over HTTP.
+/// SIGHUP or POST /admin/reload rebuilds from the graph file (or a new
+/// `path=` target) on a background thread and swaps epochs atomically.
 int cmd_serve(const Args& a) {
   const std::string in = a.get("i");
   if (in.empty()) return usage();
-  const Graph g = load_graph_any(in);
   const double k = a.num("k", 3.0);
   const std::size_t r = static_cast<std::size_t>(a.num("r", 1));
   const std::size_t threads = static_cast<std::size_t>(a.num("threads", 1));
+  const std::uint64_t seed = static_cast<std::uint64_t>(a.num("seed", 1));
 
   ConversionOptions copt;
   copt.iteration_constant = a.num("c", 1.0);
   copt.threads = threads;
-  const auto res = ft_greedy_spanner(
-      g, k, r, static_cast<std::uint64_t>(a.num("seed", 1)), copt);
 
   serve::QueryEngine::Options qo;
   qo.workers = threads == 0 ? 1 : threads;
   qo.cache_capacity = static_cast<std::size_t>(a.num("cache", 1024));
-  serve::QueryEngine engine(g, res.edges, k, qo);
+
+  // The reload builder: load + convert + engine-build, identically to the
+  // initial boot. An empty path means "the current source again" (the
+  // SIGHUP shape); a failed build throws and leaves the old epoch serving.
+  const auto build_epoch =
+      [k, r, seed, copt, qo](const std::string& path) {
+        Graph g = load_graph_any(path);
+        const auto res = ft_greedy_spanner(g, k, r, seed, copt);
+        return serve::EngineEpoch::build(std::move(g), res.edges, k, qo,
+                                         path);
+      };
+  const std::shared_ptr<serve::EngineEpoch> first = build_epoch(in);
+  auto epochs = std::make_shared<serve::EpochManager>(
+      first, [build_epoch](const std::string& path) {
+        return build_epoch(path);
+      });
 
   serve::ServeOptions so;
   so.host = a.get("host", "127.0.0.1");
   so.port = static_cast<std::uint16_t>(a.num("port", 8080));
-  serve::ServeDaemon daemon(engine, so);
+  so.max_pipeline = static_cast<std::size_t>(a.num("max-pipeline", 16));
+  so.max_pending = static_cast<std::size_t>(a.num("max-pending", 512));
+  so.deadline_ms = static_cast<int>(a.num("deadline-ms", 0));
+  serve::ServeDaemon daemon(epochs, so);
   daemon.listen();
 
   g_daemon = &daemon;
   std::signal(SIGINT, serve_signal_handler);
   std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGHUP, serve_reload_handler);
 
   std::printf("serving on %s:%u — n=%zu m=%zu spanner=%zu k=%g r=%zu "
               "workers=%zu\n",
-              so.host.c_str(), daemon.port(), g.num_vertices(), g.num_edges(),
-              res.edges.size(), k, r, qo.workers);
+              so.host.c_str(), daemon.port(), first->graph.num_vertices(),
+              first->graph.num_edges(),
+              first->engine->spanner().num_edges(), k, r, qo.workers);
   std::printf("endpoints: /distance?s=S&t=T[&avoid=L]  /stretch?...  "
-              "/stats  /healthz  (SIGINT/SIGTERM to stop)\n");
+              "/stats  /healthz  POST /admin/reload[?path=F]  "
+              "(SIGINT/SIGTERM to stop, SIGHUP to reload)\n");
   std::fflush(stdout);  // scripts scrape the port line before querying
 
   daemon.run();
   g_daemon = nullptr;
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
 
   const serve::ServeDaemon::Stats& st = daemon.stats();
-  std::printf("stopped: %llu requests (%llu rejected), %llu connections\n",
+  const serve::EpochManager::Status es = epochs->status();
+  std::printf("stopped: %llu requests (%llu rejected, %llu shed, "
+              "%llu deadline), %llu connections, epoch %llu "
+              "(%llu reloads ok, %llu failed)\n",
               (unsigned long long)st.requests,
               (unsigned long long)st.bad_requests,
-              (unsigned long long)st.connections);
+              (unsigned long long)(st.shed + st.internal_errors),
+              (unsigned long long)st.deadline_hits,
+              (unsigned long long)st.connections,
+              (unsigned long long)es.epoch, (unsigned long long)es.ok,
+              (unsigned long long)es.failed);
   return 0;
 }
 
