@@ -74,8 +74,11 @@ ConversionResult fault_tolerant_spanner(const Graph& g, std::size_t r,
 
   // Passing the already-resolved count keeps threads_used exactly what the
   // engine runs with (resolve_threads is idempotent on its own output).
-  result.edges = marks_to_edges(union_iterations(
-      alpha, result.threads_used, g.num_edges(), options.batch, bodies));
+  result.edges = marks_to_edges(
+      union_iterations(alpha, result.threads_used, g.num_edges(),
+                       options.batch, bodies, options.pin,
+                       &result.lane_pinned));
+  for (const char p : result.lane_pinned) result.lanes_pinned += p != 0;
   if (alpha > 0)
     result.max_survivors = *std::max_element(survivors.begin(), survivors.end());
   return result;
@@ -105,9 +108,11 @@ ConversionResult ft_greedy_spanner(const Graph& g, double k, std::size_t r,
   // iteration and every worker (it is read-only after construction).
   const GreedyContext ctx(g);
   const SpEnginePolicy engine = options.engine;
-  const BaseSpannerFactory factory = [&ctx, k, engine]() -> BoundBaseSpanner {
+  const Weight bucket_max = options.bucket_max;
+  const BaseSpannerFactory factory = [&ctx, k, engine,
+                                      bucket_max]() -> BoundBaseSpanner {
     auto ws = std::make_shared<GreedyWorkspace>();
-    ws->set_engine(engine);
+    ws->set_engine(engine, bucket_max);
     return [&ctx, k, ws](const VertexSet* mask,
                          std::uint64_t) -> std::span<const EdgeId> {
       return ws->run(ctx, k, mask);

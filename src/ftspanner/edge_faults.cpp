@@ -109,11 +109,13 @@ EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
   for (EdgeId id = 0; id < m; ++id) profile.observe(g.edge(id).w);
 
   const SpEnginePolicy engine = options.engine;
+  const Weight bucket_max = options.bucket_max;
   const IterationBodyFactory bodies = [&g, k, keep, seed, n, m, profile,
-                                       engine](std::size_t) -> IterationBody {
+                                       engine,
+                                       bucket_max](std::size_t) -> IterationBody {
     auto ws = std::make_shared<GreedyWorkspace>();
     ws->reserve(n, m);
-    ws->set_engine(engine);
+    ws->set_engine(engine, bucket_max);
     ws->configure_scratch(profile);
     auto survivors = std::vector<EdgeId>();
     survivors.reserve(m);
@@ -139,7 +141,9 @@ EdgeFtResult ft_edge_greedy_spanner(const Graph& g, double k, std::size_t r,
   };
 
   out.edges = marks_to_edges(union_iterations(out.iterations, out.threads_used,
-                                              m, options.batch, bodies));
+                                              m, options.batch, bodies,
+                                              options.pin, &out.lane_pinned));
+  for (const char p : out.lane_pinned) out.lanes_pinned += p != 0;
   return out;
 }
 

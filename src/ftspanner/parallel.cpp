@@ -28,10 +28,12 @@ std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
 
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges, std::size_t burst,
-                                   const IterationBodyFactory& factory) {
+                                   const IterationBodyFactory& factory,
+                                   bool pin, std::vector<char>* lane_pinned) {
   const std::size_t workers = resolve_threads(threads, iterations);
 
   if (workers == 1) {
+    if (lane_pinned != nullptr) lane_pinned->assign(1, 0);
     std::vector<char> marks(num_edges, 0);
     const IterationBody body = factory(0);
     for (std::size_t it = 0; it < iterations; ++it) body(it, marks);
@@ -46,10 +48,13 @@ std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
   BurstOptions opt;
   opt.workers = workers;
   opt.burst = burst;
-  run_bursts(iterations, opt, [&buffers, &factory](std::size_t w) -> BurstTask {
-    return [&marks = buffers[w],
-            body = factory(w)](std::size_t it) { body(it, marks); };
-  });
+  opt.pin = pin;
+  std::vector<char> pinned = run_bursts(
+      iterations, opt, [&buffers, &factory](std::size_t w) -> BurstTask {
+        return [&marks = buffers[w],
+                body = factory(w)](std::size_t it) { body(it, marks); };
+      });
+  if (lane_pinned != nullptr) *lane_pinned = std::move(pinned);
 
   // Fold in worker order: OR is commutative, so this is determinism garnish —
   // but it keeps the merged buffer's construction reproducible too.

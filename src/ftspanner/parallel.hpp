@@ -72,10 +72,16 @@ std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    const IterationBodyFactory& factory);
 
 /// As above with an explicit burst size (iterations per ring hand-off);
-/// 0 picks the default. Burst size never changes the output.
+/// 0 picks the default. Burst size never changes the output. With pin = true
+/// worker lanes are core-pinned where supported (util/affinity.hpp); the
+/// per-lane status (1 = pinned) is written to *lane_pinned when given — the
+/// single-worker inline path reports one unpinned lane. Neither knob ever
+/// changes the output marks.
 std::vector<char> union_iterations(std::size_t iterations, std::size_t threads,
                                    std::size_t num_edges, std::size_t burst,
-                                   const IterationBodyFactory& factory);
+                                   const IterationBodyFactory& factory,
+                                   bool pin = false,
+                                   std::vector<char>* lane_pinned = nullptr);
 
 /// Collects the marked edge ids in increasing order — the canonical output
 /// form shared by the sequential and parallel paths.

@@ -11,7 +11,7 @@
 // validation side in validate/scratch.hpp, now shared by the construction
 // side too).
 //
-// Two interchangeable priority structures sit behind the same loop
+// Three interchangeable priority structures sit behind the same loop
 // (selected with set_queue; see graph/engine_policy.hpp for the policy):
 //
 //   HeapQueue    a 4-ary min-heap ordered by (distance, push sequence) —
@@ -25,6 +25,20 @@
 //                weights it pops in exactly the stable heap's (distance,
 //                push sequence) order, so distances, parents, vias, and the
 //                settle order are bit-identical between the two structures.
+//   DeltaQueue   delta-stepping (Meyer–Sanders) for integer weights above
+//                the Dial ceiling: delta-wide buckets (delta a power of
+//                two, so bucketing is a shift) park far pushes in the same
+//                flat-slab intrusive-FIFO layout as the BucketQueue; the
+//                active bucket is drained through a small binary heap on
+//                (distance bits, push sequence) — the settle-stamp pass.
+//                Classic delta-stepping is label-correcting (re-relaxes
+//                light edges); this is the deterministic *label-setting*
+//                variant: because Dijkstra's frontier is monotone and the
+//                buckets partition the key space, the global pop order is
+//                exactly (distance, push sequence) lexicographic, i.e.
+//                bit-identical to the stable heap — the heap log factor is
+//                paid only within one delta-window, not across the whole
+//                frontier.
 //
 // Usage pattern: one engine per thread, reused across runs. Engines are not
 // thread-safe; never share one across concurrent callers.
@@ -84,15 +98,23 @@ class DijkstraEngine {
   /// on the very first search.
   void reserve(std::size_t n, std::size_t heap_hint);
 
-  /// Selects the priority structure for subsequent runs. For kBucket,
-  /// max_weight is the largest integer arc weight any run will relax (the
-  /// bucket array gets max_weight + 1 slots); the caller is responsible for
-  /// only routing integer-weight graphs here — use select_sp_queue with the
-  /// graph's WeightProfile. Defaults to the heap.
-  void set_queue(SpQueue q, Weight max_weight = 1) {
+  /// Selects the priority structure for subsequent runs. For kBucket and
+  /// kDelta, max_weight is the largest integer arc weight any run will
+  /// relax (the Dial array gets max_weight + 1 slots; the delta queue gets
+  /// tune_delta(max_weight, bucket_max)-wide buckets, at most
+  /// bucket_max + 2 of them); the caller is responsible for only routing
+  /// integer-weight graphs here — use select_sp_queue with the graph's
+  /// WeightProfile. Defaults to the heap.
+  void set_queue(SpQueue q, Weight max_weight = 1,
+                 Weight bucket_max = kMaxBucketWeight) {
     queue_ = q;
-    if (q == SpQueue::kBucket)
+    if (q == SpQueue::kBucket) {
       bucket_.configure(static_cast<std::size_t>(max_weight) + 1);
+    } else if (q == SpQueue::kDelta) {
+      const Weight delta = tune_delta(max_weight, bucket_max);
+      delta_.configure(delta,
+                       static_cast<std::size_t>(max_weight / delta) + 2);
+    }
   }
   SpQueue queue() const { return queue_; }
 
@@ -188,6 +210,9 @@ class DijkstraEngine {
     if (queue_ == SpQueue::kBucket)
       run_visit_q(bucket_, n, sources, faults, bound, targets, prune_at,
                   visit);
+    else if (queue_ == SpQueue::kDelta)
+      run_visit_q(delta_, n, sources, faults, bound, targets, prune_at,
+                  visit);
     else
       run_visit_q(heap_, n, sources, faults, bound, targets, prune_at, visit);
   }
@@ -214,6 +239,9 @@ class DijkstraEngine {
                                            Weight bound, VisitArcs&& visit) {
     if (fwd.queue_ == SpQueue::kBucket)
       return bidirectional_impl(fwd.bucket_, bwd.bucket_, fwd, bwd, n, s, t,
+                                faults, bound, visit);
+    if (fwd.queue_ == SpQueue::kDelta)
+      return bidirectional_impl(fwd.delta_, bwd.delta_, fwd, bwd, n, s, t,
                                 faults, bound, visit);
     return bidirectional_impl(fwd.heap_, bwd.heap_, fwd, bwd, n, s, t, faults,
                               bound, visit);
@@ -411,6 +439,183 @@ class DijkstraEngine {
     std::size_t live_ = 0;
   };
 
+  // Delta-stepping queue: a two-level structure for integer weights above
+  // the Dial ceiling. Level 1 is the BucketQueue's flat-slab circular array,
+  // but each bucket spans a delta-wide key range (delta a power of two, so
+  // bucket index = integer key >> shift — no division); a push beyond the
+  // active bucket parks its entry in O(1), untouched until its bucket opens.
+  // Level 2 is a small binary min-heap on (distance bits, push sequence):
+  // when the cursor reaches a bucket, its whole FIFO chain is moved into the
+  // heap (the settle-stamp pass), and pushes that land *inside* the open
+  // bucket's window go straight to the heap. Monotonicity makes the open
+  // bucket's contents the global minimum at all times, and the heap's
+  // (key, seq) order is total, so pops come out in exactly the stable heap's
+  // order — bit-identical settle order at a log factor paid only within one
+  // delta window. Unlike classic (label-correcting) delta-stepping there is
+  // no re-relaxation: the engine's stale-entry check keeps this label-
+  // setting, and determinism is structural, not a post-pass.
+  class DeltaQueue {
+   public:
+    /// Sizes the circular array for `width` buckets of `delta` keys each
+    /// (delta must be a power of two — use tune_delta). Only grows; leftover
+    /// entries from an abandoned run are dropped by the next clear().
+    void configure(Weight delta, std::size_t width) {
+      shift_ = static_cast<std::uint32_t>(
+          std::countr_zero(static_cast<std::uint64_t>(delta)));
+      if (heads_.size() < width) {
+        heads_.resize(width, kNil);
+        tails_.resize(width, kNil);
+      }
+      width_ = width;
+    }
+
+    /// Pre-sizes the slab and the active heap for a run pushing at most cap
+    /// entries (every parked entry may pass through the heap).
+    void reserve(std::size_t cap) {
+      slab_.reserve(cap);
+      dirty_.reserve(cap);
+      active_.reserve(cap);
+    }
+
+    void clear() {
+      for (const std::uint32_t b : dirty_) {
+        heads_[b] = kNil;
+        tails_[b] = kNil;
+      }
+      dirty_.clear();
+      slab_.clear();
+      active_.clear();
+      cur_ab_ = 0;
+      cur_b_ = 0;
+      live_ = 0;
+      seq_ = 0;
+      open_ = false;
+    }
+    bool empty() const { return live_ == 0; }
+
+    void push(Weight d, Vertex v) {
+      const std::uint64_t ab = static_cast<std::uint64_t>(d) >> shift_;
+      ++live_;
+      if (open_ && ab == cur_ab_) {
+        // Lands inside the open window: joins the settle heap directly so
+        // it is ordered against the bucket's remaining entries.
+        heap_push({std::bit_cast<std::uint64_t>(d), v, seq_++});
+        return;
+      }
+      // Far push: park it. Monotonicity bounds ab - cur_ab_ by
+      // max_weight / delta + 1 < width_, so one conditional wrap suffices.
+      std::size_t b = cur_b_ + static_cast<std::size_t>(ab - cur_ab_);
+      if (b >= width_) b -= width_;
+      const std::uint32_t i = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back({d, v, seq_++, kNil});
+      if (heads_[b] == kNil) {
+        dirty_.push_back(static_cast<std::uint32_t>(b));
+        heads_[b] = i;
+      } else {
+        slab_[tails_[b]].next = i;
+      }
+      tails_[b] = i;
+    }
+
+    /// Minimum queued distance. Precondition: !empty().
+    Weight front_d() {
+      open_next_bucket_if_needed();
+      return std::bit_cast<Weight>(active_.front().key);
+    }
+
+    QueueItem pop() {
+      open_next_bucket_if_needed();
+      const Item top = heap_pop();
+      --live_;
+      return {std::bit_cast<Weight>(top.key), top.v};
+    }
+
+   private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Slot {
+      Weight d;
+      Vertex v;
+      std::uint32_t seq;   ///< global push stamp — the heap tie-break
+      std::uint32_t next;  ///< next slab index in this bucket's FIFO, or kNil
+    };  // 24 bytes (8-byte aligned)
+
+    struct Item {
+      std::uint64_t key;  ///< distance as raw bits (order-preserving for >= 0)
+      Vertex v;
+      std::uint32_t seq;
+    };
+
+    static bool less(const Item& a, const Item& b) {
+      return a.key < b.key || (a.key == b.key && a.seq < b.seq);
+    }
+
+    /// If the settle heap is drained, advances the cursor to the next
+    /// non-empty bucket and moves its FIFO chain into the heap. While a
+    /// bucket is open its flat slot stays empty (in-window pushes go to the
+    /// heap), so the scan never revisits it. Precondition: !empty().
+    void open_next_bucket_if_needed() {
+      if (!active_.empty()) return;
+      while (heads_[cur_b_] == kNil) {
+        ++cur_ab_;
+        if (++cur_b_ == width_) cur_b_ = 0;
+      }
+      for (std::uint32_t i = heads_[cur_b_]; i != kNil;) {
+        const Slot& s = slab_[i];
+        heap_push({std::bit_cast<std::uint64_t>(s.d), s.v, s.seq});
+        i = s.next;
+      }
+      heads_[cur_b_] = kNil;
+      tails_[cur_b_] = kNil;
+      open_ = true;
+    }
+
+    void heap_push(Item it) {
+      active_.push_back(it);
+      std::size_t i = active_.size() - 1;
+      while (i > 0) {
+        const std::size_t p = (i - 1) >> 1;
+        if (!less(active_[i], active_[p])) break;
+        std::swap(active_[p], active_[i]);
+        i = p;
+      }
+    }
+
+    Item heap_pop() {
+      const Item top = active_.front();
+      const Item last = active_.back();
+      active_.pop_back();
+      if (!active_.empty()) {
+        std::size_t i = 0;
+        const std::size_t n = active_.size();
+        for (;;) {
+          const std::size_t l = (i << 1) + 1;
+          if (l >= n) break;
+          std::size_t best = l;
+          if (l + 1 < n && less(active_[l + 1], active_[l])) best = l + 1;
+          if (!less(active_[best], last)) break;
+          active_[i] = active_[best];
+          i = best;
+        }
+        active_[i] = last;
+      }
+      return top;
+    }
+
+    std::vector<Slot> slab_;            ///< parked entries, in push order
+    std::vector<std::uint32_t> heads_;  ///< per-bucket FIFO head slab index
+    std::vector<std::uint32_t> tails_;  ///< per-bucket FIFO tail slab index
+    std::vector<std::uint32_t> dirty_;  ///< buckets made non-empty since clear
+    std::vector<Item> active_;          ///< settle heap over the open bucket
+    std::uint32_t shift_ = 0;           ///< log2(delta)
+    std::size_t width_ = 1;
+    std::uint64_t cur_ab_ = 0;  ///< absolute bucket cursor (key >> shift_)
+    std::size_t cur_b_ = 0;     ///< cur_ab_ % width_, maintained incrementally
+    std::size_t live_ = 0;
+    std::uint32_t seq_ = 0;     ///< per-run global push sequence
+    bool open_ = false;         ///< cursor bucket has been moved to the heap
+  };
+
   template <class Q, class VisitArcs>
   void run_visit_q(Q& q, std::size_t n, std::span<const Vertex> sources,
                    const VertexSet* faults, Weight bound,
@@ -553,6 +758,7 @@ class DijkstraEngine {
   std::vector<EdgeId> via_;
   HeapQueue heap_;
   BucketQueue bucket_;
+  DeltaQueue delta_;
   SpQueue queue_ = SpQueue::kHeap;
   std::vector<Vertex> order_;
 

@@ -8,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/affinity.hpp"
 #include "util/spsc_ring.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ftspan {
 
@@ -45,7 +47,7 @@ struct BurstPool::Completion {
 };
 
 BurstPool::BurstPool(std::size_t workers, BurstTaskFactory factory,
-                     std::size_t ring_capacity) {
+                     std::size_t ring_capacity, bool pin) {
   const std::size_t n = workers == 0 ? 1 : workers;
   lanes_.reserve(n);
   for (std::size_t w = 0; w < n; ++w)
@@ -53,6 +55,8 @@ BurstPool::BurstPool(std::size_t workers, BurstTaskFactory factory,
 
   done_ = std::make_unique<Completion>();
   threads_.reserve(n);
+  pinned_.assign(n, 0);
+  const std::size_t cores = ThreadPool::hardware_threads();
   for (std::size_t w = 0; w < n; ++w) {
     Lane* lane = lanes_[w].get();
     Completion* done = done_.get();
@@ -90,6 +94,7 @@ BurstPool::BurstPool(std::size_t workers, BurstTaskFactory factory,
         lane->cv.wait(l);
       }
     });
+    if (pin) pinned_[w] = pin_thread(threads_[w], w % cores) ? 1 : 0;
   }
 }
 
@@ -149,23 +154,26 @@ void BurstPool::run(std::size_t count, std::size_t burst) {
   if (first != nullptr) std::rethrow_exception(first);
 }
 
-void run_bursts(std::size_t count, const BurstOptions& options,
-                const BurstTaskFactory& factory) {
-  if (count == 0) return;
+std::vector<char> run_bursts(std::size_t count, const BurstOptions& options,
+                             const BurstTaskFactory& factory) {
   const std::size_t workers = options.workers == 0 ? 1 : options.workers;
+  if (count == 0) return std::vector<char>(workers, 0);
   const std::size_t burst = options.burst == 0 ? kDefaultBurst : options.burst;
 
   if (workers == 1) {
+    // Inline on the caller's thread: never pinned (the caller's affinity is
+    // not ours to change), so the one lane always reports 0.
     const BurstTask task = factory(0);
     for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
+    return std::vector<char>(1, 0);
   }
 
   // One-shot: a temporary pool scoped to this call. Spawning here is what
   // run_bursts always did; callers with a steady cadence of small batches
   // hold a BurstPool instead.
-  BurstPool pool(workers, factory, options.ring_capacity);
+  BurstPool pool(workers, factory, options.ring_capacity, options.pin);
   pool.run(count, burst);
+  return pool.pinned_lanes();
 }
 
 }  // namespace ftspan

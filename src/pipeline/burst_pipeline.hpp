@@ -42,6 +42,11 @@ struct BurstOptions {
   std::size_t workers = 1;  ///< consumer threads; 1 = inline, no threads
   std::size_t burst = kDefaultBurst;  ///< indices per burst; 0 = default
   std::size_t ring_capacity = 64;     ///< bursts in flight per worker
+  /// Pin lane i to core i % hardware_threads() (util/affinity.hpp). Only a
+  /// hint: per-lane success is reported back, and the single-worker inline
+  /// path never pins (it runs on the caller's thread, whose affinity must
+  /// not be silently changed). Default off — see ThreadPool's rationale.
+  bool pin = false;
 };
 
 /// Runs one index of the fan-out. Invoked on the owning worker's thread.
@@ -54,8 +59,11 @@ using BurstTaskFactory = std::function<BurstTask(std::size_t worker)>;
 /// Runs task(i) for every i in [0, count) across options.workers workers.
 /// With workers == 1 this is a plain inline loop (no threads, no rings).
 /// With more it stands up a temporary BurstPool (below) for the call.
-void run_bursts(std::size_t count, const BurstOptions& options,
-                const BurstTaskFactory& factory);
+/// Returns the per-lane affinity status (one entry per worker, 1 = pinned);
+/// all zero unless options.pin succeeded — callers that don't report
+/// affinity just ignore it.
+std::vector<char> run_bursts(std::size_t count, const BurstOptions& options,
+                             const BurstTaskFactory& factory);
 
 /// BurstPool — the persistent form of run_bursts (dataplane phase 2).
 ///
@@ -88,15 +96,27 @@ class BurstPool {
  public:
   /// Spawns `workers` (>= 1) lanes; the factory is invoked on each worker
   /// thread before its first burst. A factory that throws poisons the lane:
-  /// its bursts are drained unrun and the next run() rethrows.
+  /// its bursts are drained unrun and the next run() rethrows. With
+  /// pin = true, lane i is pinned to core i % hardware_threads() where the
+  /// platform allows it (the kernel migrates an already-running thread on
+  /// the spot, so pinning from the constructor is race-free).
   BurstPool(std::size_t workers, BurstTaskFactory factory,
-            std::size_t ring_capacity = 64);
+            std::size_t ring_capacity = 64, bool pin = false);
   ~BurstPool();  ///< joins all workers
 
   BurstPool(const BurstPool&) = delete;
   BurstPool& operator=(const BurstPool&) = delete;
 
   std::size_t workers() const { return lanes_.size(); }
+
+  /// Per-lane affinity status: pinned_lanes()[i] is 1 iff lane i was
+  /// successfully pinned (all zero when pinning was off or unsupported).
+  const std::vector<char>& pinned_lanes() const { return pinned_; }
+  std::size_t pinned_count() const {
+    std::size_t k = 0;
+    for (const char p : pinned_) k += p != 0;
+    return k;
+  }
 
   /// Runs task(i) for every i in [0, count), `burst` indices per hand-off
   /// (0 = kDefaultBurst). Blocks until every burst has been processed.
@@ -110,6 +130,7 @@ class BurstPool {
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::unique_ptr<Completion> done_;
   std::vector<std::thread> threads_;
+  std::vector<char> pinned_;
 };
 
 }  // namespace ftspan

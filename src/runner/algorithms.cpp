@@ -51,13 +51,16 @@ BoundAlgorithm bind_ft_vertex(const Graph& g) {
     opt.threads = p.threads;
     opt.engine = p.engine;
     opt.batch = p.batch;
+    opt.bucket_max = p.bucket_max;
+    opt.pin = p.pin;
     // Hand each worker its own pooled workspace; `handed` restarts at 0 for
     // every conversion call (bound instances are sequential-use).
     auto handed = std::make_shared<std::size_t>(0);
     const double k = p.k;
     const SpEnginePolicy engine = p.engine;
-    const BaseSpannerFactory factory = [ctx, pool, mu, handed, k,
-                                        engine]() -> BoundBaseSpanner {
+    const Weight bucket_max = p.bucket_max;
+    const BaseSpannerFactory factory = [ctx, pool, mu, handed, k, engine,
+                                        bucket_max]() -> BoundBaseSpanner {
       std::shared_ptr<GreedyWorkspace> ws;
       {
         std::lock_guard<std::mutex> lock(*mu);
@@ -66,7 +69,7 @@ BoundAlgorithm bind_ft_vertex(const Graph& g) {
         if (!(*pool)[i]) (*pool)[i] = std::make_shared<GreedyWorkspace>();
         ws = (*pool)[i];
       }
-      ws->set_engine(engine);
+      ws->set_engine(engine, bucket_max);
       return [ctx, ws, k](const VertexSet* mask,
                           std::uint64_t) -> std::span<const EdgeId> {
         return ws->run(*ctx, k, mask);
@@ -80,6 +83,7 @@ BoundAlgorithm bind_ft_vertex(const Graph& g) {
                  {"max_survivors", static_cast<double>(res.max_survivors)},
                  {"keep_probability", res.keep_probability},
                  {"threads_used", static_cast<double>(res.threads_used)}};
+    out.lane_pinned = std::move(res.lane_pinned);
     return out;
   };
 }
@@ -93,7 +97,7 @@ Registry<SpannerAlgorithm> build_registry() {
              auto ctx = std::make_shared<GreedyContext>(g);
              auto ws = std::make_shared<GreedyWorkspace>();
              return [ctx, ws](const AlgoParams& p) {
-               ws->set_engine(p.engine);
+               ws->set_engine(p.engine, p.bucket_max);
                const auto kept = ws->run(*ctx, p.k, nullptr);
                AlgoResult out;
                out.edges.assign(kept.begin(), kept.end());
@@ -152,6 +156,8 @@ Registry<SpannerAlgorithm> build_registry() {
                opt.threads = p.threads;
                opt.engine = p.engine;
                opt.batch = p.batch;
+               opt.bucket_max = p.bucket_max;
+               opt.pin = p.pin;
                EdgeFtResult res =
                    ft_edge_greedy_spanner(*gp, p.k, p.r, p.seed, opt);
                AlgoResult out;
@@ -160,6 +166,7 @@ Registry<SpannerAlgorithm> build_registry() {
                    {"iterations", static_cast<double>(res.iterations)},
                    {"keep_probability", res.keep_probability},
                    {"threads_used", static_cast<double>(res.threads_used)}};
+               out.lane_pinned = std::move(res.lane_pinned);
                return out;
              };
            }});

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <ostream>
+#include <thread>
 
 #include "ftspanner/edge_faults.hpp"
 #include "runner/workloads.hpp"
@@ -39,34 +40,51 @@ void validate_cell(const ScenarioSpec& spec, const Graph& g, const Graph& h,
   cell.validate = spec.validate;
   if (spec.validate == "none") return;
   const bool exact = spec.validate == "exact";
-  Timer timer;
+  // Like construction: metrics come from repetition 0, later repetitions
+  // redo identical work purely to take the best wall clock. The oracle (and
+  // its CSR snapshots) is built once and pooled across repetitions, so the
+  // timed region is the validation hot path only.
   if (model == FaultModel::kEdge) {
-    const EdgeFtCheckResult res =
-        exact ? check_edge_ft_spanner_exact(g, h, cell.k, cell.r)
-              : check_edge_ft_spanner_sampled(g, h, cell.k, cell.r,
-                                              spec.trials, spec.adversarial,
-                                              spec.vseed);
-    cell.valid = res.valid;
-    cell.worst_stretch = res.worst_stretch;
-    cell.fault_sets = res.fault_sets_checked;
+    for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+      Timer timer;
+      const EdgeFtCheckResult res =
+          exact ? check_edge_ft_spanner_exact(g, h, cell.k, cell.r)
+                : check_edge_ft_spanner_sampled(g, h, cell.k, cell.r,
+                                                spec.trials, spec.adversarial,
+                                                spec.vseed);
+      const double sec = timer.seconds();
+      if (rep == 0 || sec < cell.val_seconds) cell.val_seconds = sec;
+      if (rep > 0) continue;
+      cell.valid = res.valid;
+      cell.worst_stretch = res.worst_stretch;
+      cell.fault_sets = res.fault_sets_checked;
+    }
   } else {
     FtCheckOptions opt;
     opt.threads = cell.threads;
     opt.engine =
         parse_engine_policy(spec.engine).value_or(SpEnginePolicy::kAuto);
     opt.batch = spec.batch;
+    opt.bucket_max =
+        spec.bucket_max != 0 ? spec.bucket_max : kMaxBucketWeight;
+    opt.pin = spec.pin;
     const StretchOracle oracle(g, h, cell.k);
-    const FtCheckResult res =
-        exact ? oracle.check_exact(cell.r, opt)
-              : oracle.check_sampled(cell.r, spec.trials, spec.adversarial,
-                                     spec.vseed, opt);
-    cell.valid = res.valid;
-    cell.worst_stretch = res.worst_stretch;
-    cell.fault_sets = res.fault_sets_checked;
-    cell.witness_u = res.witness_u;
-    cell.witness_v = res.witness_v;
+    for (std::size_t rep = 0; rep < spec.reps; ++rep) {
+      Timer timer;
+      const FtCheckResult res =
+          exact ? oracle.check_exact(cell.r, opt)
+                : oracle.check_sampled(cell.r, spec.trials, spec.adversarial,
+                                       spec.vseed, opt);
+      const double sec = timer.seconds();
+      if (rep == 0 || sec < cell.val_seconds) cell.val_seconds = sec;
+      if (rep > 0) continue;
+      cell.valid = res.valid;
+      cell.worst_stretch = res.worst_stretch;
+      cell.fault_sets = res.fault_sets_checked;
+      cell.witness_u = res.witness_u;
+      cell.witness_v = res.witness_v;
+    }
   }
-  cell.val_seconds = timer.seconds();
 }
 
 }  // namespace
@@ -76,7 +94,6 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
   report.specs = specs;
   for (const ScenarioSpec& spec : specs) {
     report.first_cell.push_back(report.cells.size());
-    const Workload& workload = workload_registry().get(spec.workload);
     const SpannerAlgorithm& algo = algorithm_registry().get(spec.algo);
 
     const std::vector<std::size_t> sizes =
@@ -87,9 +104,21 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
       wp.p = spec.p;
       wp.scale = spec.scale;
       wp.seed = spec.wseed;
+      wp.max_weight = spec.max_weight;
       wp.path = spec.path;
-      const WorkloadInstance instance = workload.make(wp);
+      // Through make_workload (not workload.make) so the max_weight
+      // reweight pass applies uniformly to every family.
+      const WorkloadInstance instance = make_workload(spec.workload, wp);
       const Graph& g = instance.g;
+
+      // The base graph's weight profile: what engine=auto (and the bucket/
+      // delta downgrades) resolve against — reported per cell as
+      // engine_resolved.
+      WeightProfile profile;
+      for (EdgeId id = 0; id < g.num_edges(); ++id)
+        profile.observe(g.edge(id).w);
+      const Weight bucket_max =
+          spec.bucket_max != 0 ? spec.bucket_max : kMaxBucketWeight;
 
       // One bound algorithm per instance: the k/r/threads sweep and every
       // timing repetition below share its pooled scratch.
@@ -122,6 +151,10 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
             ap.engine = parse_engine_policy(spec.engine)
                             .value_or(SpEnginePolicy::kAuto);
             ap.batch = spec.batch;
+            ap.bucket_max = bucket_max;
+            ap.pin = spec.pin;
+            cell.engine_resolved = to_string(select_sp_queue(
+                ap.engine, profile.integral, profile.max_weight, bucket_max));
 
             // Metrics come from the first repetition; later repetitions
             // redo identical work purely to take the best wall clock.
@@ -137,6 +170,8 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
             cell.edges = result.edges.size();
             cell.edges_hash = edge_set_hash(result.edges);
             cell.stats = std::move(result.stats);
+            cell.lane_pinned = std::move(result.lane_pinned);
+            cell.hw_concurrency = std::thread::hardware_concurrency();
 
             const Graph h = g.edge_subgraph(result.edges);
             validate_cell(spec, g, h, algo.model, cell);
@@ -151,6 +186,8 @@ ScenarioReport run_scenarios(const std::vector<ScenarioSpec>& specs) {
               qo.workers = threads;
               qo.batch = spec.batch;
               qo.engine = ap.engine;
+              qo.bucket_max = bucket_max;
+              qo.pin = spec.pin;
               serve::LoadTestOptions lo;
               lo.qps = spec.qps;
               lo.conns = spec.conns;
@@ -299,6 +336,7 @@ void json_cell(const ScenarioCell& c, bool timings, std::ostream& os,
   std::snprintf(hash, sizeof hash, "0x%016llx",
                 static_cast<unsigned long long>(c.edges_hash));
   os << in << "\"edges_hash\": \"" << hash << "\",\n";
+  os << in << "\"engine_resolved\": \"" << c.engine_resolved << "\",\n";
   os << in << "\"stats\": {";
   for (std::size_t i = 0; i < c.stats.size(); ++i) {
     if (i > 0) os << ", ";
@@ -343,6 +381,17 @@ void json_cell(const ScenarioCell& c, bool timings, std::ostream& os,
     // Machine-dependent like the clocks, so it lives (and dies) with them:
     // timings=off keeps the JSON bit-identical across hosts.
     os << ",\n" << in << "\"peak_rss_bytes\": " << c.peak_rss;
+    os << ",\n" << in << "\"hardware_concurrency\": " << c.hw_concurrency;
+    if (!c.lane_pinned.empty()) {
+      std::size_t pinned = 0;
+      os << ",\n" << in << "\"lane_pinned\": [";
+      for (std::size_t i = 0; i < c.lane_pinned.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << (c.lane_pinned[i] ? 1 : 0);
+        pinned += c.lane_pinned[i] != 0;
+      }
+      os << "],\n" << in << "\"lanes_pinned\": " << pinned;
+    }
     if (c.load.ran) {
       os << ",\n" << in << "\"load\": {";
       os << "\"requests\": " << c.load.requests;
@@ -444,6 +493,15 @@ Registry<ScenarioPreset> build_presets() {
            "greedy 3-spanner of gnp(400, 0.05), 12 sampled fault sets",
            "workload=gnp n=400 p=0.05 wseed=1 algo=greedy k=3 r=2 seed=1 "
            "reps=1 validate=sampled trials=12 adversarial=0 vseed=1"});
+
+  reg.add("midrange_throughput",
+          {"the tracked mid-range integer-weight cell (BENCH_pr10 lineage): "
+           "greedy 3-spanner of gnp(400, 0.05) reweighted to w <= 1e5 "
+           "(engine=auto resolves to delta), 12 sampled fault sets, "
+           "best of 3",
+           "workload=gnp n=400 p=0.05 max_weight=100000 wseed=1 algo=greedy "
+           "k=3 r=2 seed=1 threads=1 reps=3 validate=sampled trials=12 "
+           "adversarial=0 vseed=1"});
 
   // Deliberately NOT named smoke_<algo>: the CI scenario-smoke job globs
   // that prefix and compares goldens, which a wall-clock load test can

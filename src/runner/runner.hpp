@@ -40,6 +40,12 @@ struct ScenarioCell {
   std::size_t threads = 1;
   std::size_t edges = 0;         ///< spanner size |H|
   std::uint64_t edges_hash = 0;  ///< FNV-1a over the edge-id sequence
+  /// The SP queue the spec's engine policy resolves to against the BASE
+  /// graph's weight profile ("heap" | "bucket" | "delta"). Deterministic —
+  /// a function of (instance, engine, bucket_max) only — so it sits outside
+  /// the timings gate. (The spanner H resolves separately per graph; its
+  /// profile can only be narrower.)
+  std::string engine_resolved;
   std::vector<std::pair<std::string, double>> stats;
 
   // Validation (fields meaningful when validate != "none").
@@ -54,7 +60,13 @@ struct ScenarioCell {
   // contract; `timings=off` removes them from the emitters).
   std::size_t reps = 1;
   double seconds_best = 0;  ///< construction, best of `reps`
-  double val_seconds = 0;   ///< validation, single run
+  double val_seconds = 0;   ///< validation, best of `reps`
+  /// std::thread::hardware_concurrency() where the cell ran, plus the
+  /// construction fan-out's per-lane affinity status (1 = pinned; empty for
+  /// single-shot algorithms). Machine-dependent, so the emitters keep both
+  /// inside the timings-gated block.
+  std::size_t hw_concurrency = 0;
+  std::vector<char> lane_pinned;
   /// Process-wide peak RSS sampled after the cell ran (util/mem.hpp):
   /// an upper bound on the cell's footprint, monotone across cells.
   std::size_t peak_rss = 0;

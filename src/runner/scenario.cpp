@@ -127,6 +127,7 @@ std::string ScenarioSpec::to_string() const {
   if (!n.empty()) os << " n=" << join_sizes(n);
   if (p >= 0) os << " p=" << format_double(p);
   if (scale != 1.0) os << " scale=" << format_double(scale);
+  if (max_weight != 0) os << " max_weight=" << format_double(max_weight);
   if (qps != 0) os << " qps=" << format_double(qps);
   if (conns != 1) os << " conns=" << conns;
   if (duration != 0) os << " duration=" << format_double(duration);
@@ -144,6 +145,8 @@ std::string ScenarioSpec::to_string() const {
   // stay byte-identical (to_string must round-trip through parse verbatim).
   if (engine != "auto") os << " engine=" << engine;
   if (batch != 0) os << " batch=" << batch;
+  if (bucket_max != 0) os << " bucket_max=" << format_double(bucket_max);
+  if (pin) os << " pin=on";
   os << " reps=" << reps;
   os << " validate=" << validate;
   if (validate != "none") {
@@ -180,6 +183,13 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else if (key == "scale") {
       spec.scale = parse_double(key, value);
       if (!(spec.scale > 0.0) || !std::isfinite(spec.scale))
+        bad_value(key, value);
+    } else if (key == "max_weight") {
+      // An integer reweight ceiling: whole-valued, >= 1 (0 turns it off).
+      spec.max_weight = parse_double(key, value);
+      if (!std::isfinite(spec.max_weight) || spec.max_weight < 0 ||
+          spec.max_weight != std::floor(spec.max_weight) ||
+          (spec.max_weight != 0 && spec.max_weight < 1.0))
         bad_value(key, value);
     } else if (key == "qps") {
       spec.qps = parse_double(key, value);
@@ -229,6 +239,18 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
       spec.engine = value;
     } else if (key == "batch") {
       spec.batch = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "bucket_max") {
+      // Whole-valued, in [1, kBucketMaxCeiling]; 0 = engine default.
+      spec.bucket_max = parse_double(key, value);
+      if (!std::isfinite(spec.bucket_max) || spec.bucket_max < 0 ||
+          spec.bucket_max != std::floor(spec.bucket_max) ||
+          (spec.bucket_max != 0 &&
+           (spec.bucket_max < 1.0 ||
+            spec.bucket_max > static_cast<double>(kBucketMaxCeiling))))
+        bad_value(key, value);
+    } else if (key == "pin") {
+      if (value != "on" && value != "off") bad_value(key, value);
+      spec.pin = value == "on";
     } else if (key == "reps") {
       spec.reps = static_cast<std::size_t>(parse_u64(key, value));
       if (spec.reps == 0) bad_value(key, value);
@@ -248,9 +270,10 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
     } else {
       throw std::invalid_argument(
           "scenario spec: unknown key '" + key +
-          "'; valid keys: workload path n p scale qps conns duration chaos "
-          "reload_every wseed algo k r c iters seed threads engine batch "
-          "reps validate trials adversarial vseed timings");
+          "'; valid keys: workload path n p scale max_weight qps conns "
+          "duration chaos reload_every wseed algo k r c iters seed threads "
+          "engine batch bucket_max pin reps validate trials adversarial "
+          "vseed timings");
     }
   }
   return spec;

@@ -30,6 +30,10 @@ struct ScenarioSpec {
   std::vector<std::size_t> n;  ///< size sweep; empty = workload default
   double p = -1.0;             ///< density knob; < 0 = workload default
   double scale = 1.0;          ///< workload scale factor
+  /// Reweight the generated graph with integer weights drawn uniformly from
+  /// [1, max_weight] (seeded by wseed); 0 = keep the workload's own weights.
+  /// Makes the mid-range integer regime sweepable without a DIMACS file.
+  double max_weight = 0;
   std::uint64_t wseed = 1;     ///< workload RNG seed
 
   // --- serve load test (workload=serve only; see docs/SERVE.md) ---
@@ -47,8 +51,12 @@ struct ScenarioSpec {
   std::size_t iters = 0;               ///< iteration override; 0 = formula
   std::uint64_t seed = 1;              ///< algorithm RNG seed
   std::vector<std::size_t> threads = {1};  ///< fan-out width sweep
-  std::string engine = "auto";         ///< SP engine policy: auto | heap | bucket
+  std::string engine = "auto";  ///< SP engine policy: auto|heap|bucket|delta
   std::size_t batch = 0;               ///< pipeline burst size; 0 = default
+  /// Bucket/delta engine-resolution ceiling; 0 = the engine default
+  /// (kMaxBucketWeight). Range-checked against kBucketMaxCeiling.
+  double bucket_max = 0;
+  bool pin = false;  ///< pin worker lanes to cores (best effort; see JSON)
 
   // --- driver ---
   std::size_t reps = 1;  ///< timing repetitions; metrics use rep 0, time is best-of

@@ -8,10 +8,31 @@
 
 #include "graph/generators.hpp"
 #include "graph/graph_file.hpp"
+#include "util/rng.hpp"
 
 namespace ftspan::runner {
 
 namespace {
+
+/// Stream tag for the reweight RNG: independent of every generator's own
+/// use of the seed, so max_weight changes weights without moving topology.
+constexpr std::uint64_t kReweightStream = 0x9e3779b97f4a7c15ull;
+
+/// Replaces every edge length with an integer uniform in [1, max_weight],
+/// keeping the topology (and edge ids) exactly as generated.
+Graph reweight_integer(const Graph& g, double max_weight,
+                       std::uint64_t seed) {
+  Rng rng(hash_combine(seed, kReweightStream));
+  const auto w = static_cast<std::int64_t>(max_weight);
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    Edge e = g.edge(id);
+    e.w = static_cast<Weight>(rng.uniform_int(1, w));
+    edges.push_back(e);
+  }
+  return Graph::from_edges(g.num_vertices(), edges);
+}
 
 /// max(floor_n, lround(full * scale)) — the scaling rule every vertex-count
 /// knob uses (identical to the property harness's historical `scaled`).
@@ -183,7 +204,12 @@ const Registry<Workload>& workload_registry() {
 
 WorkloadInstance make_workload(const std::string& name,
                                const WorkloadParams& params) {
-  return workload_registry().get(name).make(params);
+  WorkloadInstance inst = workload_registry().get(name).make(params);
+  if (params.max_weight != 0) {
+    inst.g = reweight_integer(inst.g, params.max_weight, params.seed);
+    inst.params += " max_weight=" + num(params.max_weight);
+  }
+  return inst;
 }
 
 }  // namespace ftspan::runner

@@ -34,6 +34,13 @@ struct WorkloadParams {
 
   std::uint64_t seed = 1;
 
+  /// Post-generation reweight: replace every edge length with an integer
+  /// drawn uniformly from [1, max_weight] (its own seeded RNG stream, so
+  /// the topology is untouched); 0 = keep the family's own weights. This is
+  /// how the mid-range integer regime (4096 < w <= 10^6) is swept without
+  /// a DIMACS file.
+  double max_weight = 0;
+
   /// For the "file" family only: the graph file to load (ftspan.graph.v1
   /// binary or the text edge-list format, sniffed by magic). The size and
   /// density knobs above are ignored — the file is the instance.

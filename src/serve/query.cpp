@@ -73,16 +73,17 @@ std::uint64_t ServeQuery::cache_key() const {
 /// the two dead-edge masks with touched-entry logs so resets are O(|F|),
 /// not O(m).
 struct QueryEngine::Scratch {
-  Scratch(const Csr& cg, const Csr& ch, SpEnginePolicy policy) {
+  Scratch(const Csr& cg, const Csr& ch, SpEnginePolicy policy,
+          Weight bucket_max) {
     dead_g.assign(cg.num_arcs() / 2, 0);
     dead_h.assign(ch.num_arcs() / 2, 0);
     faults = VertexSet(cg.num_vertices());
     eng_g.set_queue(select_sp_queue(policy, cg.weights().integral,
-                                    cg.weights().max_weight),
-                    cg.weights().max_weight);
+                                    cg.weights().max_weight, bucket_max),
+                    cg.weights().max_weight, bucket_max);
     eng_h.set_queue(select_sp_queue(policy, ch.weights().integral,
-                                    ch.weights().max_weight),
-                    ch.weights().max_weight);
+                                    ch.weights().max_weight, bucket_max),
+                    ch.weights().max_weight, bucket_max);
     eng_g.reserve(cg.num_vertices(), cg.num_arcs() + 1);
     eng_h.reserve(ch.num_vertices(), ch.num_arcs() + 1);
   }
@@ -113,8 +114,8 @@ QueryEngine::QueryEngine(const Graph& g, const std::vector<EdgeId>& spanner_edge
   if (options_.workers == 0) options_.workers = 1;
   scratch_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w)
-    scratch_.push_back(
-        std::make_unique<Scratch>(cg_, ch_, options_.engine));
+    scratch_.push_back(std::make_unique<Scratch>(cg_, ch_, options_.engine,
+                                                 options_.bucket_max));
 }
 
 QueryEngine::QueryEngine(const Graph& g,
@@ -232,13 +233,15 @@ void QueryEngine::answer_batch(std::span<const ServeQuery> queries,
   } else {
     if (pool_ == nullptr)
       pool_ = std::make_unique<BurstPool>(
-          options_.workers, [this](std::size_t w) {
+          options_.workers,
+          [this](std::size_t w) {
             Scratch* s = scratch_[w].get();
             return [this, s](std::size_t i) {
               answer_miss(cur_queries_[miss_idx_[i]],
                           (*cur_answers_)[miss_idx_[i]], *s);
             };
-          });
+          },
+          64, options_.pin);
     pool_->run(miss_idx_.size(), options_.batch);
   }
 
@@ -247,6 +250,11 @@ void QueryEngine::answer_batch(std::span<const ServeQuery> queries,
     for (std::size_t j = 0; j < miss_idx_.size(); ++j)
       cache_insert(queries[miss_idx_[j]], miss_key_[j],
                    answers[miss_idx_[j]]);
+}
+
+std::vector<char> QueryEngine::lane_pinned() const {
+  if (pool_ == nullptr) return {};
+  return pool_->pinned_lanes();
 }
 
 ServeAnswer QueryEngine::answer(const ServeQuery& query) {

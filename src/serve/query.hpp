@@ -70,6 +70,11 @@ class QueryEngine {
     std::size_t batch = 0;          ///< queries per burst; 0 = default
     std::size_t cache_capacity = 1024;  ///< LRU entries; 0 disables the cache
     SpEnginePolicy engine = SpEnginePolicy::kAuto;
+    /// Bucket/delta engine-resolution ceiling (graph/engine_policy.hpp).
+    Weight bucket_max = kMaxBucketWeight;
+    /// Pin worker lanes to cores (util/affinity.hpp); per-lane success is
+    /// readable via lane_pinned(). Answers never depend on it.
+    bool pin = false;
   };
 
   /// g must outlive the engine; the spanner H is materialized internally
@@ -102,6 +107,11 @@ class QueryEngine {
   };
   const CacheStats& cache_stats() const { return cache_stats_; }
   std::uint64_t queries_answered() const { return queries_; }
+
+  /// Per-lane affinity status of the miss-path pool (1 = pinned). Empty
+  /// until the first multi-worker batch spawns the pool; always all-zero
+  /// when Options::pin was false or the platform lacks affinity support.
+  std::vector<char> lane_pinned() const;
 
   const Graph& base() const { return *g_; }
   const Graph& spanner() const { return h_; }

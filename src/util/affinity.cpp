@@ -1,0 +1,44 @@
+#include "util/affinity.hpp"
+
+// Feature test: glibc/musl on Linux ship pthread_setaffinity_np behind
+// _GNU_SOURCE (which g++/clang++ define by default for C++). Elsewhere the
+// stubs below keep the API compiled and honestly unsuccessful.
+#if defined(__linux__) && __has_include(<pthread.h>)
+#define FTSPAN_HAS_AFFINITY 1
+#include <pthread.h>
+#include <sched.h>
+#else
+#define FTSPAN_HAS_AFFINITY 0
+#endif
+
+namespace ftspan {
+
+bool affinity_supported() { return FTSPAN_HAS_AFFINITY != 0; }
+
+#if FTSPAN_HAS_AFFINITY
+
+namespace {
+bool pin_handle(pthread_t handle, std::size_t core) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+}
+}  // namespace
+
+bool pin_thread(std::thread& t, std::size_t core) {
+  return pin_handle(t.native_handle(), core);
+}
+
+bool pin_current_thread(std::size_t core) {
+  return pin_handle(pthread_self(), core);
+}
+
+#else
+
+bool pin_thread(std::thread&, std::size_t) { return false; }
+bool pin_current_thread(std::size_t) { return false; }
+
+#endif
+
+}  // namespace ftspan

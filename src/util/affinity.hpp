@@ -1,0 +1,31 @@
+// Core affinity for worker lanes.
+//
+// The dataplane pools (ThreadPool, BurstPool) pin lane i to core
+// i % hardware_threads() when asked, so a lane's engines and scratch stay on
+// one core's caches instead of migrating under the scheduler — the per-core
+// worker idiom the burst pipeline already assumes logically. Pinning is a
+// *hint*: platforms without pthread_setaffinity_np (and builds where the
+// feature-test below fails) compile the same API as a no-op that reports
+// false, and every caller records per-lane success/failure rather than
+// assuming it — perf JSON must stay honest about what actually ran where.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+namespace ftspan {
+
+/// True when this build can pin threads to cores at all. Callers use this to
+/// distinguish "pin requested but unsupported here" from "pin failed".
+bool affinity_supported();
+
+/// Pins `t` to `core` (taken modulo the kernel's cpu-set width) via its
+/// native handle; the thread may already be running — pinning from the
+/// spawning thread is race-free because the kernel moves it on the spot.
+/// Returns true iff the affinity call succeeded.
+bool pin_thread(std::thread& t, std::size_t core);
+
+/// Pins the calling thread. Same semantics as pin_thread.
+bool pin_current_thread(std::size_t core);
+
+}  // namespace ftspan

@@ -16,15 +16,26 @@
 #include <thread>
 #include <vector>
 
+#include "util/affinity.hpp"
+
 namespace ftspan {
 
 class ThreadPool {
  public:
-  /// Starts `threads` workers (at least 1).
-  explicit ThreadPool(std::size_t threads) {
-    workers_.reserve(std::max<std::size_t>(threads, 1));
-    for (std::size_t i = 0; i < std::max<std::size_t>(threads, 1); ++i)
+  /// Starts `threads` workers (at least 1). With pin = true, worker i is
+  /// pinned to core i % hardware_threads() where the platform allows it;
+  /// per-lane success is readable via pinned_lanes(). Default off: pinning
+  /// helps a dedicated dataplane but hurts oversubscribed runs (e.g. a
+  /// parallel test driver stacking every pool onto the low cores).
+  explicit ThreadPool(std::size_t threads, bool pin = false) {
+    const std::size_t n = std::max<std::size_t>(threads, 1);
+    const std::size_t cores = hardware_threads();
+    workers_.reserve(n);
+    pinned_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
       workers_.emplace_back([this] { work(); });
+      if (pin) pinned_[i] = pin_thread(workers_[i], i % cores) ? 1 : 0;
+    }
   }
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,6 +51,16 @@ class ThreadPool {
   }
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Per-lane affinity status: pinned_lanes()[i] is 1 iff worker i was
+  /// successfully pinned (all zero when pinning was not requested or the
+  /// platform has no affinity support).
+  const std::vector<char>& pinned_lanes() const { return pinned_; }
+  std::size_t pinned_count() const {
+    std::size_t k = 0;
+    for (const char p : pinned_) k += p != 0;
+    return k;
+  }
 
   /// Enqueues a job. Jobs must not submit to the same pool they run on
   /// (wait_idle() would be allowed to return between the parent finishing
@@ -104,6 +125,7 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr failure_;
   std::vector<std::thread> workers_;
+  std::vector<char> pinned_;
 };
 
 }  // namespace ftspan

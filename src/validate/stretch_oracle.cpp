@@ -101,7 +101,7 @@ BasicStretchOracle<G>::BasicStretchOracle(const G& g, const G& h, double k)
 
 template <class G>
 typename BasicStretchOracle<G>::Scratch BasicStretchOracle<G>::make_scratch(
-    SpEnginePolicy policy) const {
+    SpEnginePolicy policy, Weight bucket_max) const {
   Scratch s;
   s.faults = VertexSet(g_->num_vertices());
   // Resolve the queue per graph side: G and H can differ (H is a subgraph,
@@ -110,10 +110,12 @@ typename BasicStretchOracle<G>::Scratch BasicStretchOracle<G>::make_scratch(
   // first fault set.
   const WeightProfile& wg = cg_.weights();
   const WeightProfile& wh = ch_.weights();
-  s.dg.set_queue(select_sp_queue(policy, wg.integral, wg.max_weight),
-                 wg.max_weight);
-  s.dh.set_queue(select_sp_queue(policy, wh.integral, wh.max_weight),
-                 wh.max_weight);
+  s.dg.set_queue(
+      select_sp_queue(policy, wg.integral, wg.max_weight, bucket_max),
+      wg.max_weight, bucket_max);
+  s.dh.set_queue(
+      select_sp_queue(policy, wh.integral, wh.max_weight, bucket_max),
+      wh.max_weight, bucket_max);
   s.dg.reserve(g_->num_vertices(), cg_.num_arcs() + 1);
   s.dh.reserve(h_->num_vertices(), ch_.num_arcs() + 1);
   return s;
@@ -173,7 +175,8 @@ FtCheckResult BasicStretchOracle<G>::run_indexed(
   std::vector<Witness> witnesses(count);
   const std::size_t workers = resolve_threads(options.threads, count);
   if (workers == 1) {
-    Scratch scratch = make_scratch(options.engine);
+    out.lane_pinned.assign(1, 0);
+    Scratch scratch = make_scratch(options.engine, options.bucket_max);
     for (std::size_t i = 0; i < count; ++i) witnesses[i] = eval(i, scratch);
   } else {
     // Burst pipeline: fault-set indices travel to worker-pinned scratch in
@@ -183,15 +186,21 @@ FtCheckResult BasicStretchOracle<G>::run_indexed(
     BurstOptions bopt;
     bopt.workers = workers;
     bopt.burst = options.batch;
+    bopt.pin = options.pin;
     const SpEnginePolicy engine = options.engine;
-    run_bursts(count, bopt,
-               [this, &witnesses, &eval, engine](std::size_t) -> BurstTask {
-                 auto scratch = std::make_shared<Scratch>(make_scratch(engine));
-                 return [&witnesses, &eval, scratch](std::size_t i) {
-                   witnesses[i] = eval(i, *scratch);
-                 };
-               });
+    const Weight bucket_max = options.bucket_max;
+    out.lane_pinned = run_bursts(
+        count, bopt,
+        [this, &witnesses, &eval, engine,
+         bucket_max](std::size_t) -> BurstTask {
+          auto scratch =
+              std::make_shared<Scratch>(make_scratch(engine, bucket_max));
+          return [&witnesses, &eval, scratch](std::size_t i) {
+            witnesses[i] = eval(i, *scratch);
+          };
+        });
   }
+  for (const char p : out.lane_pinned) out.lanes_pinned += p != 0;
 
   // Deterministic fold in fault-set index order — identical to what a
   // sequential consider() chain over the same stream produces, regardless

@@ -41,6 +41,8 @@ struct FtCheckResult {
   Vertex witness_u = kInvalidVertex;   ///< violated / worst pair
   Vertex witness_v = kInvalidVertex;
   std::size_t fault_sets_checked = 0;
+  std::vector<char> lane_pinned;  ///< per-lane affinity status (1 = pinned)
+  std::size_t lanes_pinned = 0;   ///< number of successfully pinned lanes
 
   /// Records (F, u, v, stretch) if it is worse than the current worst.
   void consider(double stretch, const VertexSet& faults, Vertex u, Vertex v,
@@ -65,6 +67,14 @@ struct FtCheckOptions {
   /// Fault sets per burst handed to a pipeline worker (0 = default burst;
   /// see pipeline/burst_pipeline.hpp). Irrelevant to the result.
   std::size_t batch = 0;
+
+  /// Bucket/delta engine-resolution ceiling (graph/engine_policy.hpp).
+  /// Never changes the FtCheckResult.
+  Weight bucket_max = kMaxBucketWeight;
+
+  /// Pin worker lanes to cores (util/affinity.hpp); per-lane success is
+  /// reported in FtCheckResult::lane_pinned. Irrelevant to the result.
+  bool pin = false;
 };
 
 /// Number of fault sets of size <= r over n vertices (saturating).
@@ -111,7 +121,8 @@ class BasicStretchOracle {
     std::vector<Vertex> interior;
     VertexSet faults;
   };
-  Scratch make_scratch(SpEnginePolicy policy = SpEnginePolicy::kAuto) const;
+  Scratch make_scratch(SpEnginePolicy policy = SpEnginePolicy::kAuto,
+                       Weight bucket_max = kMaxBucketWeight) const;
 
   /// Worst surviving-edge stretch under one fault set; (1.0, invalid,
   /// invalid) when no surviving edge exists. The witness pair is the first

@@ -7,14 +7,21 @@
 // thread count — the refactor is a pure performance change.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "ftspanner/conversion.hpp"
 #include "ftspanner/edge_faults.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_file.hpp"
+#include "graph/import.hpp"
 #include "runner/runner.hpp"
+#include "runner/workloads.hpp"
+#include "util/rng.hpp"
+#include "validate/stretch_oracle.hpp"
 
 namespace ftspan {
 namespace {
@@ -41,11 +48,13 @@ constexpr Golden kGolden[] = {
 TEST(GoldenConversion, FtGreedySpannerBitIdenticalAcrossRefactorAndThreads) {
   const Graph g = gnp(400, 0.05, 1234);
   // The golden hashes must also survive every engine policy: the bucket
-  // queue's FIFO pop order is the stable heap's (key, seq) order, so heap,
-  // bucket, and auto are all bit-identical on this unit-weight graph — at
-  // every thread count and burst geometry.
+  // queue's FIFO pop order — and the delta queue's (key, seq) settle-stamp
+  // order — are the stable heap's order, so heap, bucket, delta, and auto
+  // are all bit-identical on this unit-weight graph — at every thread count
+  // and burst geometry.
   constexpr SpEnginePolicy kPolicies[] = {
-      SpEnginePolicy::kAuto, SpEnginePolicy::kHeap, SpEnginePolicy::kBucket};
+      SpEnginePolicy::kAuto, SpEnginePolicy::kHeap, SpEnginePolicy::kBucket,
+      SpEnginePolicy::kDelta};
   for (const Golden& want : kGolden) {
     std::vector<EdgeId> at_one_thread;
     for (const SpEnginePolicy engine : kPolicies)
@@ -98,6 +107,89 @@ void check_edge_goldens(const Graph& g, std::span<const Golden> want) {
           << "seed=" << row.seed << " threads=" << threads;
     }
   }
+}
+
+// ISSUE 10: engine=delta must reproduce engine=heap bit-for-bit — edge set,
+// hash, AND the oracle's worst-stretch/witness bits — on every golden
+// instance class of the mid-range regime (uniform integer, tie-dense,
+// DIMACS-imported) at threads 1, 2, 4, and 8.
+void check_delta_matches_heap(const Graph& g) {
+  std::vector<EdgeId> heap_edges;
+  for (const SpEnginePolicy engine :
+       {SpEnginePolicy::kHeap, SpEnginePolicy::kDelta})
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ConversionOptions opt;
+      opt.threads = threads;
+      opt.iteration_constant = 0.25;
+      opt.engine = engine;
+      const auto res = ft_greedy_spanner(g, 3.0, 2, 42, opt);
+      if (heap_edges.empty())
+        heap_edges = res.edges;
+      else
+        ASSERT_EQ(res.edges, heap_edges)
+            << "engine=" << to_string(engine) << " threads=" << threads;
+    }
+  ASSERT_FALSE(heap_edges.empty());
+
+  // The oracle's verdict must be the same bits under both engines too.
+  const Graph h = g.edge_subgraph(heap_edges);
+  const StretchOracle oracle(g, h, 3.0);
+  FtCheckOptions heap_opt, delta_opt;
+  heap_opt.engine = SpEnginePolicy::kHeap;
+  delta_opt.engine = SpEnginePolicy::kDelta;
+  const FtCheckResult a = oracle.check_sampled(2, 6, 4, 77, heap_opt);
+  const FtCheckResult b = oracle.check_sampled(2, 6, 4, 77, delta_opt);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.worst_stretch, b.worst_stretch);
+  EXPECT_EQ(a.witness_u, b.witness_u);
+  EXPECT_EQ(a.witness_v, b.witness_v);
+}
+
+TEST(GoldenConversion, DeltaMatchesHeapOnUniformMidRangeWeights) {
+  runner::WorkloadParams wp;
+  wp.n = 160;
+  wp.seed = 1234;
+  wp.max_weight = 100000;  // the runner's mid-range reweight knob
+  const Graph g = runner::make_workload("gnp", wp).g;
+  check_delta_matches_heap(g);
+}
+
+TEST(GoldenConversion, DeltaMatchesHeapOnTieDenseMidRangeWeights) {
+  // tie_dense weights scaled into the mid-range: three massive tie classes,
+  // the regime where an unstable frontier would scramble greedy's order.
+  const Graph base = tie_dense(140, 0.1, 3, 7);
+  std::vector<Edge> edges;
+  for (EdgeId id = 0; id < base.num_edges(); ++id) {
+    Edge e = base.edge(id);
+    e.w = std::floor(e.w * 10.0) * 10000.0;
+    edges.push_back(e);
+  }
+  check_delta_matches_heap(Graph::from_edges(base.num_vertices(), edges));
+}
+
+TEST(GoldenConversion, DeltaMatchesHeapOnDimacsImportedInstance) {
+  // A DIMACS .gr instance with road-like mid-range arc weights, streamed
+  // through the importer into ftspan.graph.v1 and loaded back — the exact
+  // path a real corpus takes into the engine.
+  const Graph base = gnp(120, 0.08, 9);
+  Rng rng(2026);
+  std::ostringstream gr;
+  gr << "c synthetic mid-range road-weight instance\n";
+  gr << "p sp " << base.num_vertices() << " " << 2 * base.num_edges() << "\n";
+  for (EdgeId id = 0; id < base.num_edges(); ++id) {
+    const Edge& e = base.edge(id);
+    const std::int64_t w = rng.uniform_int(4097, 1000000);
+    // Both orientations, the way road corpora ship arcs.
+    gr << "a " << e.u + 1 << " " << e.v + 1 << " " << w << "\n";
+    gr << "a " << e.v + 1 << " " << e.u + 1 << " " << w << "\n";
+  }
+  const std::string path = ::testing::TempDir() + "/golden_dimacs.fgb";
+  std::istringstream in(gr.str());
+  const ImportResult imp = import_graph(in, path, ImportFormat::kDimacs);
+  ASSERT_EQ(imp.n, base.num_vertices());
+  ASSERT_EQ(imp.edges, base.num_edges());
+  const Graph g = load_graph_any(path);
+  check_delta_matches_heap(g);
 }
 
 TEST(GoldenConversion, FtEdgeGreedySpannerBitIdenticalUnitWeights) {

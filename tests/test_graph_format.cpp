@@ -20,6 +20,7 @@
 #include "graph/import.hpp"
 #include "graph/io.hpp"
 #include "graph/sp_engine.hpp"
+#include "runner/workloads.hpp"
 
 namespace ftspan {
 namespace {
@@ -176,6 +177,56 @@ TEST(GraphFormat, HeaderCarriesTheWeightProfile) {
   EXPECT_EQ(mg.weights().integral, csr.weights().integral);
   EXPECT_EQ(mg.weights().max_weight, csr.weights().max_weight);
   EXPECT_EQ(mg.weights().total_weight, csr.weights().total_weight);
+}
+
+// ISSUE 10: the engine-policy resolution (heap/bucket/delta) hangs off the
+// hoisted WeightProfile, so the profile a graph carries after an mmap-load
+// round trip must equal the profile of the in-memory original bit-for-bit —
+// for every workload family, in the integral regime (the max_weight=
+// reweight), the fractional regime (a +0.5 shift), and as generated. A
+// drifted bit here would silently flip the resolved engine.
+TEST(GraphFormat, WeightProfileSurvivesBinaryRoundTripForAllWorkloads) {
+  for (const std::string& name : runner::workload_registry().names()) {
+    if (name == "file") continue;  // nothing to generate
+    for (const char* regime : {"generated", "integral", "fractional"}) {
+      SCOPED_TRACE(name + std::string(" / ") + regime);
+      runner::WorkloadParams wp;
+      wp.scale = 0.3;
+      wp.seed = 17;
+      if (std::strcmp(regime, "integral") == 0) wp.max_weight = 100000;
+      Graph g = runner::make_workload(name, wp).g;
+      if (std::strcmp(regime, "fractional") == 0) {
+        std::vector<Edge> shifted;
+        for (EdgeId id = 0; id < g.num_edges(); ++id) {
+          Edge e = g.edge(id);
+          e.w += 0.5;
+          shifted.push_back(e);
+        }
+        g = Graph::from_edges(g.num_vertices(), shifted);
+      }
+
+      const std::string path =
+          temp_path("profile_" + name + "_" + regime + ".fgb");
+      save_graph_binary(path, g);
+      const Csr want(g);
+      // Both load paths: the zero-copy mapping's header profile and the
+      // profile recomputed from the load_graph_any materialization.
+      const MappedGraph mg(path);
+      EXPECT_EQ(mg.weights().integral, want.weights().integral);
+      EXPECT_EQ(mg.weights().max_weight, want.weights().max_weight);
+      EXPECT_EQ(mg.weights().total_weight, want.weights().total_weight);
+      const Csr loaded(load_graph_any(path));
+      EXPECT_EQ(loaded.weights().integral, want.weights().integral);
+      EXPECT_EQ(loaded.weights().max_weight, want.weights().max_weight);
+      EXPECT_EQ(loaded.weights().total_weight, want.weights().total_weight);
+      // The policy hook itself: both profiles must resolve the same queue.
+      EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto,
+                                mg.weights().integral,
+                                mg.weights().max_weight),
+                select_sp_queue(SpEnginePolicy::kAuto, want.weights().integral,
+                                want.weights().max_weight));
+    }
+  }
 }
 
 TEST(GraphFormat, LoadGraphAnyDispatchesOnMagic) {

@@ -10,6 +10,7 @@
 #include "ftspanner/edge_faults.hpp"
 #include "ftspanner/validate.hpp"
 #include "graph/generators.hpp"
+#include "util/affinity.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ftspan {
@@ -46,6 +47,32 @@ TEST(ThreadPool, PropagatesJobException) {
   EXPECT_THROW(pool.wait_idle(), std::runtime_error);
 }
 
+TEST(ThreadPool, PinnedLanesReportMatchesPlatformSupport) {
+  // Default: no pinning requested, every lane reports 0.
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.pinned_lanes(), std::vector<char>(3, 0));
+    EXPECT_EQ(pool.pinned_count(), 0u);
+  }
+  // pin = true: cores are taken modulo hardware_threads(), so even a pool
+  // wider than the machine pins every lane wherever the build supports
+  // affinity at all — and reports all zeros (not a lie) where it does not.
+  {
+    ThreadPool pool(4, /*pin=*/true);
+    ASSERT_EQ(pool.pinned_lanes().size(), 4u);
+    const char want = affinity_supported() ? 1 : 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(pool.pinned_lanes()[i], want) << "lane " << i;
+    EXPECT_EQ(pool.pinned_count(), affinity_supported() ? 4u : 0u);
+    // A pinned pool still runs jobs normally.
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
 TEST(UnionIterations, SingleThreadMatchesManualLoop) {
   const auto body = [](std::size_t it, std::vector<char>& marks) {
     marks[it % marks.size()] = 1;
@@ -69,6 +96,40 @@ TEST(UnionIterations, RethrowsBodyException) {
     if (it == 3) throw std::invalid_argument("it 3");
   };
   EXPECT_THROW(union_iterations(8, 4, 2, body), std::invalid_argument);
+}
+
+TEST(UnionIterations, PinReportsLanesAndNeverChangesTheMarks) {
+  const IterationBodyFactory factory = [](std::size_t) -> IterationBody {
+    return [](std::size_t it, std::vector<char>& marks) {
+      marks[(it * 13) % marks.size()] = 1;
+    };
+  };
+  const std::vector<char> want = union_iterations(40, 1, 64, 0, factory);
+
+  // Multi-worker with pin on: same marks, one status slot per resolved
+  // worker, each honest about platform support.
+  std::vector<char> lanes;
+  const std::vector<char> pinned =
+      union_iterations(40, 4, 64, 0, factory, /*pin=*/true, &lanes);
+  EXPECT_EQ(pinned, want);
+  ASSERT_EQ(lanes.size(), resolve_threads(4, 40));
+  const char expect = affinity_supported() ? 1 : 0;
+  for (std::size_t i = 0; i < lanes.size(); ++i)
+    EXPECT_EQ(lanes[i], expect) << "lane " << i;
+
+  // Single worker resolves to the inline path: one unpinned lane, even
+  // with pin requested (the caller's thread affinity is left alone).
+  lanes.assign(5, 42);  // stale garbage the call must overwrite
+  EXPECT_EQ(union_iterations(40, 1, 64, 0, factory, /*pin=*/true, &lanes),
+            want);
+  EXPECT_EQ(lanes, std::vector<char>(1, 0));
+
+  // Pin off never pins, with or without the out-param.
+  lanes.clear();
+  EXPECT_EQ(union_iterations(40, 3, 64, 0, factory, /*pin=*/false, &lanes),
+            want);
+  EXPECT_EQ(lanes, std::vector<char>(resolve_threads(3, 40), 0));
+  EXPECT_EQ(union_iterations(40, 3, 64, 0, factory), want);
 }
 
 // The engine's headline guarantee: for the same seed, the conversion's edge

@@ -20,6 +20,7 @@
 
 #include "ftspanner/parallel.hpp"
 #include "serve/query.hpp"
+#include "util/affinity.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace {
@@ -476,6 +477,94 @@ TEST(BurstPool, WorkerPinningMatchesRunBursts) {
       EXPECT_EQ(ran_by[i].load(), (i / kBurst) % kWorkers)
           << "round=" << round << " i=" << i;
   }
+}
+
+// --- core affinity (ISSUE 10) -------------------------------------------
+
+// run_bursts reports one affinity slot per worker, and the slots are honest:
+// all zero with pin off, all zero on the inline single-worker path (the
+// caller's affinity is not ours to change), and — wherever the platform
+// supports affinity at all — all one when pinning was requested on a real
+// pool.
+TEST(RunBursts, LanePinReportIsHonest) {
+  const BurstTaskFactory noop = [](std::size_t) -> BurstTask {
+    return [](std::size_t) {};
+  };
+
+  // count == 0: no lane ever ran, one zero slot per worker either way.
+  for (const bool pin : {false, true}) {
+    BurstOptions opt;
+    opt.workers = 3;
+    opt.pin = pin;
+    EXPECT_EQ(run_bursts(0, opt, noop), std::vector<char>(3, 0));
+  }
+
+  // workers == 1 runs inline on the caller's thread: never pinned, even
+  // when asked.
+  {
+    BurstOptions opt;
+    opt.workers = 1;
+    opt.pin = true;
+    EXPECT_EQ(run_bursts(16, opt, noop), std::vector<char>(1, 0));
+  }
+
+  // A real pool with pin off stays unpinned.
+  {
+    BurstOptions opt;
+    opt.workers = 2;
+    EXPECT_EQ(run_bursts(16, opt, noop), std::vector<char>(2, 0));
+  }
+
+  // Pin on: every lane reports success where the build supports affinity
+  // (cores are taken modulo hardware_threads(), so oversubscription cannot
+  // fail the call), and reports failure-as-zero where it does not.
+  {
+    BurstOptions opt;
+    opt.workers = 4;
+    opt.pin = true;
+    const std::vector<char> lanes = run_bursts(16, opt, noop);
+    ASSERT_EQ(lanes.size(), 4u);
+    const char want = affinity_supported() ? 1 : 0;
+    for (std::size_t i = 0; i < lanes.size(); ++i)
+      EXPECT_EQ(lanes[i], want) << "lane " << i;
+  }
+}
+
+// The persistent pool exposes the same per-lane report, stable across runs,
+// and pinning must not perturb the deterministic burst distribution.
+TEST(BurstPool, PinnedLanesReportAndKeepDeterministicDistribution) {
+  constexpr std::size_t kCount = 64, kWorkers = 3, kBurst = 4;
+  std::vector<std::atomic<std::size_t>> ran_by(kCount);
+  BurstPool pool(
+      kWorkers,
+      [&ran_by](std::size_t w) -> BurstTask {
+        return [&ran_by, w](std::size_t i) {
+          ran_by[i].store(w, std::memory_order_relaxed);
+        };
+      },
+      /*ring_capacity=*/64, /*pin=*/true);
+  const char want = affinity_supported() ? 1 : 0;
+  ASSERT_EQ(pool.pinned_lanes().size(), kWorkers);
+  for (std::size_t i = 0; i < kWorkers; ++i)
+    EXPECT_EQ(pool.pinned_lanes()[i], want) << "lane " << i;
+  EXPECT_EQ(pool.pinned_count(), affinity_supported() ? kWorkers : 0u);
+  for (int round = 0; round < 2; ++round) {
+    for (auto& r : ran_by) r.store(SIZE_MAX);
+    pool.run(kCount, kBurst);
+    for (std::size_t i = 0; i < kCount; ++i)
+      EXPECT_EQ(ran_by[i].load(), (i / kBurst) % kWorkers)
+          << "round=" << round << " i=" << i;
+  }
+  // The report is a property of construction, not of any particular run.
+  EXPECT_EQ(pool.pinned_count(), affinity_supported() ? kWorkers : 0u);
+}
+
+TEST(BurstPool, DefaultConstructionDoesNotPin) {
+  BurstPool pool(2, [](std::size_t) -> BurstTask {
+    return [](std::size_t) {};
+  });
+  EXPECT_EQ(pool.pinned_lanes(), std::vector<char>(2, 0));
+  EXPECT_EQ(pool.pinned_count(), 0u);
 }
 
 }  // namespace

@@ -89,6 +89,70 @@ TEST(PropertyMatrix, BucketEngineMatchesHeapAcrossAllWorkloads) {
   EXPECT_GE(integral_cells, 3u);
 }
 
+// The delta-stepping cell (ISSUE 10): every registered workload family,
+// reweighted into the mid-range integer regime through the max_weight=
+// workload knob, must reproduce the stable heap bit-for-bit under
+// engine=delta — distances, parents, vias, and the settle order — and kAuto
+// must resolve the regime to delta (integral, max above the bucket wall).
+TEST(PropertyMatrix, DeltaEngineMatchesHeapAcrossAllWorkloads) {
+  constexpr Weight kMidRangeMax = 100000;
+  std::size_t cells = 0;
+  for (const std::string& name : runner::workload_registry().names()) {
+    if (name == "file") continue;  // nothing to generate
+    SCOPED_TRACE(name);
+    runner::WorkloadParams wp;
+    wp.scale = 0.35;
+    wp.seed = kMatrixSeed;
+    wp.max_weight = kMidRangeMax;
+    const runner::WorkloadInstance inst = runner::make_workload(name, wp);
+
+    // The reweight pass must keep the topology: same instance as without
+    // the knob, edge for edge, only the lengths replaced.
+    runner::WorkloadParams plain = wp;
+    plain.max_weight = 0;
+    const runner::WorkloadInstance orig = runner::make_workload(name, plain);
+    ASSERT_EQ(inst.g.num_vertices(), orig.g.num_vertices());
+    ASSERT_EQ(inst.g.num_edges(), orig.g.num_edges());
+    for (EdgeId id = 0; id < inst.g.num_edges(); ++id) {
+      ASSERT_EQ(inst.g.edge(id).u, orig.g.edge(id).u) << "id=" << id;
+      ASSERT_EQ(inst.g.edge(id).v, orig.g.edge(id).v) << "id=" << id;
+    }
+
+    const Csr csr(inst.g);
+    const WeightProfile& prof = csr.weights();
+    ASSERT_TRUE(prof.integral);
+    ASSERT_LE(prof.max_weight, kMidRangeMax);
+    if (prof.max_weight <= static_cast<Weight>(kMaxBucketWeight))
+      continue;  // a tiny family that happened to draw only small weights
+    ++cells;
+    EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, prof.integral,
+                              prof.max_weight),
+              SpQueue::kDelta);
+
+    DijkstraEngine heap, delta;
+    heap.set_queue(SpQueue::kHeap);
+    delta.set_queue(SpQueue::kDelta, prof.max_weight);
+    const std::size_t n = csr.num_vertices();
+    const std::size_t stride = std::max<std::size_t>(1, n / 12);
+    for (Vertex s = 0; s < n; s += static_cast<Vertex>(stride)) {
+      heap.run(csr, s);
+      delta.run(csr, s);
+      const auto ho = heap.settle_order();
+      const auto dvo = delta.settle_order();
+      ASSERT_EQ(ho.size(), dvo.size()) << "s=" << s;
+      for (std::size_t i = 0; i < ho.size(); ++i)
+        ASSERT_EQ(ho[i], dvo[i]) << "s=" << s << " i=" << i;
+      for (Vertex v = 0; v < n; ++v) {
+        ASSERT_EQ(heap.dist(v), delta.dist(v)) << "s=" << s << " v=" << v;
+        ASSERT_EQ(heap.parent(v), delta.parent(v)) << "s=" << s << " v=" << v;
+        ASSERT_EQ(heap.via(v), delta.via(v)) << "s=" << s << " v=" << v;
+      }
+    }
+  }
+  // Reweighting puts essentially every family in the delta regime.
+  EXPECT_GE(cells, 8u);
+}
+
 // The binary round-trip cell (ISSUE 7): for every registered workload
 // family, generating the instance, saving it to ftspan.graph.v1, mmap-
 // loading it back through the `file` workload, and rerunning the algorithm

@@ -109,6 +109,15 @@ TEST(ScenarioSpecTest, ParseToStringRoundTripsByteIdentically) {
       "engine=bucket batch=32 reps=1 validate=none",
       "workload=gnp wseed=1 algo=greedy k=3 r=0 seed=1 threads=1 "
       "engine=heap reps=1 validate=none",
+      // ISSUE 10 keys: max_weight prints after scale; bucket_max and pin
+      // print after batch; all three stay invisible at their defaults
+      // (every case above). format_double prints 100000 in its shortest
+      // round-trip form "1e+05" — that IS the canonical spelling.
+      "workload=gnp n=64 max_weight=1e+05 wseed=1 algo=greedy k=3 r=0 "
+      "seed=1 threads=1 engine=delta bucket_max=8192 pin=on reps=1 "
+      "validate=none",
+      "workload=gnp wseed=1 algo=ft_vertex k=3 r=1 seed=1 threads=2 "
+      "bucket_max=1048576 reps=1 validate=none",
   };
   for (const char* text : cases) {
     const ScenarioSpec spec = ScenarioSpec::parse(text);
@@ -141,6 +150,7 @@ TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
                std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse("engine=quantum"), std::invalid_argument);
   EXPECT_THROW(ScenarioSpec::parse("batch=-1"), std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::parse("pin=maybe"), std::invalid_argument);
   try {
     ScenarioSpec::parse("frobnicate=1");
   } catch (const std::invalid_argument& e) {
@@ -148,6 +158,9 @@ TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
     EXPECT_NE(std::string(e.what()).find("valid keys"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("chaos"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("reload_every"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("max_weight"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bucket_max"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("pin"), std::string::npos);
   }
 }
 
@@ -163,6 +176,11 @@ TEST(ScenarioSpecTest, RejectsOutOfRangeNumericValues) {
       "conns=0",      "duration=-1", "duration=nan", "duration=inf",
       "chaos=1.5",    "chaos=-0.1",  "chaos=nan",    "chaos=inf",
       "reload_every=-1",
+      // ISSUE 10 knobs: max_weight must be a whole number >= 1 (or the
+      // 0 default); bucket_max is range-checked against kBucketMaxCeiling.
+      "max_weight=-1", "max_weight=0.5", "max_weight=nan", "max_weight=inf",
+      "bucket_max=-1", "bucket_max=0.5", "bucket_max=nan", "bucket_max=inf",
+      "bucket_max=1048577",
   };
   for (const char* text : bad) {
     const std::string key(text, std::strchr(text, '=') - text);
@@ -185,6 +203,11 @@ TEST(ScenarioSpecTest, RejectsOutOfRangeNumericValues) {
   EXPECT_EQ(ScenarioSpec::parse("chaos=0").chaos, 0.0);
   EXPECT_EQ(ScenarioSpec::parse("chaos=1").chaos, 1.0);
   EXPECT_EQ(ScenarioSpec::parse("reload_every=0").reload_every, 0u);
+  EXPECT_EQ(ScenarioSpec::parse("max_weight=0").max_weight, 0.0);
+  EXPECT_EQ(ScenarioSpec::parse("max_weight=1").max_weight, 1.0);
+  EXPECT_EQ(ScenarioSpec::parse("bucket_max=0").bucket_max, 0.0);
+  EXPECT_EQ(ScenarioSpec::parse("bucket_max=1").bucket_max, 1.0);
+  EXPECT_EQ(ScenarioSpec::parse("bucket_max=1048576").bucket_max, 1048576.0);
 }
 
 TEST(ScenarioSpecTest, RejectsWhitespaceInPath) {

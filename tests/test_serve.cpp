@@ -447,6 +447,71 @@ TEST(QueryEngine, WorkerCountNeverChangesAnswers) {
   }
 }
 
+// ISSUE 10: on a mid-range integer-weight graph — where engine=auto
+// resolves to delta-stepping — served answers must be bit-identical under
+// every engine policy, worker count, and affinity setting; lane pinning is
+// report-only.
+TEST(QueryEngine, EngineChoiceNeverChangesServedAnswersOnMidRangeWeights) {
+  const Graph base = gnp_connected(24, 0.25, 5, 3.0);
+  std::vector<Edge> reweighted;
+  for (EdgeId id = 0; id < base.num_edges(); ++id) {
+    Edge e = base.edge(id);
+    e.w = std::floor(e.w * 12345.0) + 4097.0;  // integral, > bucket ceiling
+    reweighted.push_back(e);
+  }
+  const Graph g = Graph::from_edges(base.num_vertices(), reweighted);
+  std::vector<EdgeId> kept;
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    if (id % 3 != 0) kept.push_back(id);
+
+  std::vector<ServeQuery> queries;
+  Rng rng(29);
+  const Vertex n = static_cast<Vertex>(g.num_vertices());
+  for (int i = 0; i < 40; ++i) {
+    ServeQuery q;
+    q.s = static_cast<Vertex>(rng.uniform_index(n));
+    q.t = static_cast<Vertex>(rng.uniform_index(n));
+    q.want_base = (i % 2) == 0;
+    if (i % 3 == 0)
+      q.avoid_vertices.push_back(static_cast<Vertex>(rng.uniform_index(n)));
+    if (i % 5 == 0) {
+      const Edge& e = g.edge(rng.uniform_index(g.num_edges()));
+      q.avoid_edges.emplace_back(e.u, e.v);
+    }
+    q.canonicalize();
+    queries.push_back(std::move(q));
+  }
+
+  std::vector<std::vector<ServeAnswer>> results;
+  for (const SpEnginePolicy engine :
+       {SpEnginePolicy::kHeap, SpEnginePolicy::kDelta, SpEnginePolicy::kAuto})
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+      serve::QueryEngine::Options opt;
+      opt.workers = workers;
+      opt.cache_capacity = 0;
+      opt.batch = 2;
+      opt.engine = engine;
+      opt.pin = true;  // report-only: must never move an answer bit
+      serve::QueryEngine engine_obj(g, kept, 3.0, opt);
+      std::vector<ServeAnswer> answers;
+      engine_obj.answer_batch(queries, answers);
+      // Affinity reporting: one status per miss-pool lane once it exists
+      // (workers == 1 answers inline and never spawns the pool).
+      const std::vector<char> lanes = engine_obj.lane_pinned();
+      if (workers > 1) EXPECT_EQ(lanes.size(), workers);
+      results.push_back(std::move(answers));
+    }
+  for (std::size_t run = 1; run < results.size(); ++run) {
+    ASSERT_EQ(results[run].size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(results[0][i].dh, results[run][i].dh)
+          << "run " << run << " query " << i;
+      EXPECT_EQ(results[0][i].dg, results[run][i].dg)
+          << "run " << run << " query " << i;
+    }
+  }
+}
+
 // --- ServeDaemon over real sockets ---------------------------------------
 
 /// Daemon on an ephemeral loopback port with its event loop on a background

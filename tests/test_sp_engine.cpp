@@ -168,15 +168,17 @@ TEST(DijkstraEngine, EpochRolloverKeepsResultsCorrect) {
   EXPECT_LE(eng.debug_epoch(), 2u);  // wrapped: 0xffffffff -> 1 -> 2
 }
 
-// An integer-weight random graph (weights 1..12): the domain where kAuto
-// switches to the bucket queue.
-Graph integer_test_graph(std::size_t n, double p, std::uint64_t seed) {
+// An integer-weight random graph (weights 1..max_w). With the default
+// max_w = 12 this is the domain where kAuto switches to the bucket queue;
+// with max_w above kMaxBucketWeight it is the delta queue's mid-range.
+Graph integer_test_graph(std::size_t n, double p, std::uint64_t seed,
+                         std::int64_t max_w = 12) {
   Graph g = gnp(n, p, seed);
   Graph out(g.num_vertices());
   Rng rng(hash_combine(seed, 0x1b));
   for (EdgeId id = 0; id < g.num_edges(); ++id) {
     const Edge& e = g.edge(id);
-    out.add_edge(e.u, e.v, static_cast<Weight>(rng.uniform_int(1, 12)));
+    out.add_edge(e.u, e.v, static_cast<Weight>(rng.uniform_int(1, max_w)));
   }
   return out;
 }
@@ -250,20 +252,168 @@ TEST(DijkstraEngine, BidirectionalBoundedPairWorksOnBucketQueue) {
   }
 }
 
+// The delta queue on mid-range weights (1..10^5, above the Dial ceiling):
+// distances, parents, vias, AND the settle order must match the stable heap
+// bit for bit — the same contract the bucket queue carries below the ceiling.
+TEST(DijkstraEngine, DeltaQueueMatchesHeapBitForBitOnMidRangeWeights) {
+  const Graph g = integer_test_graph(90, 0.08, 21, 100000);
+  const Csr csr(g);
+  ASSERT_TRUE(csr.weights().integral);
+  ASSERT_GT(csr.weights().max_weight, kMaxBucketWeight);
+  DijkstraEngine heap, delta;
+  heap.set_queue(SpQueue::kHeap);
+  delta.set_queue(SpQueue::kDelta, csr.weights().max_weight);
+  VertexSet faults(g.num_vertices());
+  faults.insert(3);
+  faults.insert(17);
+  for (Vertex s = 0; s < g.num_vertices(); s += 5) {
+    heap.run(csr, s, &faults);
+    delta.run(csr, s, &faults);
+    const auto ho = heap.settle_order();
+    const auto dl = delta.settle_order();
+    ASSERT_EQ(ho.size(), dl.size()) << "s=" << s;
+    for (std::size_t i = 0; i < ho.size(); ++i)
+      EXPECT_EQ(ho[i], dl[i]) << "s=" << s << " i=" << i;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(heap.dist(v), delta.dist(v)) << "s=" << s << " v=" << v;
+      EXPECT_EQ(heap.parent(v), delta.parent(v)) << "s=" << s << " v=" << v;
+      EXPECT_EQ(heap.via(v), delta.via(v)) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+// Tie-dense regime: few distinct weights, so equal-distance pops are the
+// common case and the (distance, push sequence) tie-break carries the whole
+// determinism contract through the settle heap.
+TEST(DijkstraEngine, DeltaQueueMatchesHeapOnTieDenseWeights) {
+  Graph base = gnp(80, 0.1, 77);
+  Graph g(base.num_vertices());
+  Rng rng(hash_combine(77, 0x2c));
+  for (EdgeId id = 0; id < base.num_edges(); ++id) {
+    const Edge& e = base.edge(id);
+    // Three weight levels far above the Dial ceiling -> constant ties.
+    g.add_edge(e.u, e.v,
+               static_cast<Weight>(10000 * rng.uniform_int(1, 3)));
+  }
+  const Csr csr(g);
+  DijkstraEngine heap, delta;
+  heap.set_queue(SpQueue::kHeap);
+  delta.set_queue(SpQueue::kDelta, csr.weights().max_weight);
+  for (Vertex s = 0; s < g.num_vertices(); s += 7) {
+    heap.run(csr, s);
+    delta.run(csr, s);
+    const auto ho = heap.settle_order();
+    const auto dl = delta.settle_order();
+    ASSERT_EQ(ho.size(), dl.size()) << "s=" << s;
+    for (std::size_t i = 0; i < ho.size(); ++i)
+      ASSERT_EQ(ho[i], dl[i]) << "s=" << s << " i=" << i;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(heap.parent(v), delta.parent(v)) << "s=" << s << " v=" << v;
+      ASSERT_EQ(heap.via(v), delta.via(v)) << "s=" << s << " v=" << v;
+    }
+  }
+}
+
+TEST(DijkstraEngine, DeltaQueueBoundedPairMatchesHeap) {
+  const Graph g = integer_test_graph(70, 0.1, 33, 100000);
+  const Csr csr(g);
+  DijkstraEngine heap, delta;
+  heap.set_queue(SpQueue::kHeap);
+  delta.set_queue(SpQueue::kDelta, csr.weights().max_weight);
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Vertex t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Weight bound = static_cast<Weight>(rng.uniform_int(1, 300000));
+    EXPECT_EQ(heap.bounded_pair(csr, s, t, nullptr, bound),
+              delta.bounded_pair(csr, s, t, nullptr, bound))
+        << "s=" << s << " t=" << t << " bound=" << bound;
+  }
+}
+
+TEST(DijkstraEngine, BidirectionalBoundedPairWorksOnDeltaQueue) {
+  const Graph g = integer_test_graph(60, 0.1, 44, 100000);
+  const Csr csr(g);
+  DijkstraEngine hf, hb, df, db;
+  hf.set_queue(SpQueue::kHeap);
+  hb.set_queue(SpQueue::kHeap);
+  df.set_queue(SpQueue::kDelta, csr.weights().max_weight);
+  db.set_queue(SpQueue::kDelta, csr.weights().max_weight);
+  const auto visit = [&csr](Vertex v, auto&& relax) {
+    for (const CsrArc& a : csr.out(v)) relax(a.to, a.w, a.edge);
+  };
+  Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Vertex t = static_cast<Vertex>(rng.uniform_index(g.num_vertices()));
+    const Weight bound = static_cast<Weight>(rng.uniform_int(1, 300000));
+    const Weight want = DijkstraEngine::bidirectional_bounded_pair(
+        hf, hb, g.num_vertices(), s, t, nullptr, bound, visit);
+    const Weight got = DijkstraEngine::bidirectional_bounded_pair(
+        df, db, g.num_vertices(), s, t, nullptr, bound, visit);
+    EXPECT_EQ(want, got) << "s=" << s << " t=" << t << " bound=" << bound;
+  }
+}
+
+// An explicit delta request must also be exact on *small* integer weights
+// (delta = 1: every bucket holds one key, the settle heap is pure FIFO).
+TEST(DijkstraEngine, DeltaQueueMatchesHeapOnSmallIntegerWeights) {
+  const Graph g = integer_test_graph(90, 0.08, 21);
+  const Csr csr(g);
+  DijkstraEngine heap, delta;
+  heap.set_queue(SpQueue::kHeap);
+  delta.set_queue(SpQueue::kDelta, csr.weights().max_weight);
+  for (Vertex s = 0; s < g.num_vertices(); s += 9) {
+    heap.run(csr, s);
+    delta.run(csr, s);
+    const auto ho = heap.settle_order();
+    const auto dl = delta.settle_order();
+    ASSERT_EQ(ho.size(), dl.size()) << "s=" << s;
+    for (std::size_t i = 0; i < ho.size(); ++i)
+      ASSERT_EQ(ho[i], dl[i]) << "s=" << s << " i=" << i;
+  }
+}
+
+TEST(DijkstraEngine, TuneDeltaFollowsTheBucketBudgetRule) {
+  // delta = smallest power of two with max_weight / delta <= bucket_max.
+  EXPECT_EQ(tune_delta(100.0), 1.0);
+  EXPECT_EQ(tune_delta(4096.0), 1.0);
+  EXPECT_EQ(tune_delta(100000.0), 32.0);
+  EXPECT_EQ(tune_delta(1000000.0), 256.0);
+  EXPECT_EQ(tune_delta(100000.0, 1024.0), 128.0);
+  EXPECT_EQ(tune_delta(0.0), 1.0);
+}
+
 TEST(DijkstraEngine, AutoPolicySelectsBucketOnlyForBoundedIntegerWeights) {
   EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, true, 12.0),
             SpQueue::kBucket);
   EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, false, 12.0),
             SpQueue::kHeap);
+  // Above the Dial ceiling, integral weights now resolve to delta-stepping
+  // (the mid-range regime), not the heap.
   EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, true,
+                            static_cast<Weight>(kMaxBucketWeight) + 1),
+            SpQueue::kDelta);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, false,
                             static_cast<Weight>(kMaxBucketWeight) + 1),
             SpQueue::kHeap);
   EXPECT_EQ(select_sp_queue(SpEnginePolicy::kHeap, true, 1.0), SpQueue::kHeap);
   EXPECT_EQ(select_sp_queue(SpEnginePolicy::kBucket, true, 1.0),
             SpQueue::kBucket);
-  // An explicit bucket request is downgraded on fractional weights — a
-  // label-setting bucket queue would be incorrect there.
+  // An explicit bucket/delta request is downgraded on fractional weights — a
+  // label-setting bucket structure would be incorrect there.
   EXPECT_EQ(select_sp_queue(SpEnginePolicy::kBucket, false, 1.0),
+            SpQueue::kHeap);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kDelta, false, 1.0),
+            SpQueue::kHeap);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kDelta, true, 100000.0),
+            SpQueue::kDelta);
+  // The bucket_max knob moves the bucket/delta frontier in both directions.
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, true, 100000.0, 100000.0),
+            SpQueue::kBucket);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kAuto, true, 100.0, 64.0),
+            SpQueue::kDelta);
+  EXPECT_EQ(select_sp_queue(SpEnginePolicy::kBucket, true, 100.0, 64.0),
             SpQueue::kHeap);
 }
 
@@ -272,6 +422,19 @@ TEST(DijkstraEngine, BucketQueueRunIsAllocationFreeAfterWarmUp) {
   const Csr csr(g);
   DijkstraEngine eng;
   eng.set_queue(SpQueue::kBucket, csr.weights().max_weight);
+  eng.reserve(g.num_vertices(), 2 * g.num_edges() + 1);
+  eng.run(csr, 0);  // warm-up
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) eng.run(csr, s);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(DijkstraEngine, DeltaQueueRunIsAllocationFreeAfterWarmUp) {
+  const Graph g = integer_test_graph(80, 0.1, 55, 100000);
+  const Csr csr(g);
+  DijkstraEngine eng;
+  eng.set_queue(SpQueue::kDelta, csr.weights().max_weight);
   eng.reserve(g.num_vertices(), 2 * g.num_edges() + 1);
   eng.run(csr, 0);  // warm-up
   const std::size_t before = g_allocations.load(std::memory_order_relaxed);
